@@ -1,0 +1,170 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure indexed in DESIGN.md §5 /
+   EXPERIMENTS.md (one experiment per paper artifact, printed as tables and
+   ASCII plots).  Part 2 runs Bechamel micro-benchmarks of the protocol
+   kernels the experiments exercise.
+
+   Usage:
+     dune exec bench/main.exe                 # quick experiments + micro
+     dune exec bench/main.exe -- --full       # full-length experiments
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel
+     dune exec bench/main.exe -- E3 E12       # a subset, by id or name *)
+
+open Tact_experiments
+
+let run_experiments ~quick ~only =
+  let selected =
+    match only with
+    | [] -> Registry.all
+    | keys ->
+      List.filter_map
+        (fun k ->
+          match Registry.find k with
+          | Some e -> Some e
+          | None ->
+            Printf.printf
+              "unknown experiment %S (use an id like E3 or a name like airline)\n" k;
+            None)
+        keys
+  in
+  List.iter
+    (fun (e : Registry.entry) ->
+      Printf.printf "\n%s\n" (String.make 78 '=');
+      Printf.printf "%s [%s] — %s\n" e.id e.name e.paper_artifact;
+      Printf.printf "%s\n" (String.make 78 '=');
+      let t0 = Sys.time () in
+      print_string (e.run ~quick ());
+      Printf.printf "(%s ran in %.1fs cpu)\n" e.id (Sys.time () -. t0);
+      flush stdout)
+    selected
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernels underneath the experiments *)
+
+open Bechamel
+open Toolkit
+
+let wlog_kernel ~writes () =
+  let open Tact_store in
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  for seq = 1 to writes do
+    ignore
+      (Wlog.accept log
+         {
+           Write.id = { origin = 0; seq };
+           accept_time = float_of_int seq;
+           op = Op.Add ("x", 1.0);
+           affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
+         })
+  done;
+  ignore (Wlog.commit_stable log ~cover:[| infinity; infinity |])
+
+let metrics_kernel ~writes () =
+  let open Tact_store in
+  let ws =
+    List.init writes (fun i ->
+        {
+          Write.id = { origin = i mod 3; seq = (i / 3) + 1 };
+          accept_time = float_of_int i;
+          op = Op.Noop;
+          affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
+        })
+  in
+  ignore (Tact_core.Metrics.order_error_lcp ~ecg:ws ~local:ws "c");
+  ignore (Tact_core.Metrics.value ws "c")
+
+let sim_kernel ~events () =
+  let open Tact_sim in
+  let e = Engine.create () in
+  for i = 1 to events do
+    Engine.schedule e ~delay:(float_of_int (i mod 97)) ignore
+  done;
+  Engine.run e
+
+let bboard_kernel () =
+  ignore
+    (Tact_apps.Bboard.run ~seed:3 ~n:3 ~post_rate:2.0 ~read_rate:1.0
+       ~duration:5.0 ~ne_bound:4.0 ~antientropy:None ())
+
+let vv_kernel () =
+  let open Tact_store in
+  let a = Version_vector.create 16 and b = Version_vector.create 16 in
+  for i = 0 to 15 do
+    Version_vector.set a i (i * 3);
+    Version_vector.set b i (48 - (i * 3))
+  done;
+  for _ = 1 to 1000 do
+    let c = Version_vector.copy a in
+    Version_vector.merge_into c b;
+    ignore (Version_vector.dominates c a)
+  done
+
+let budget_kernel () =
+  let rates = [| 5.0; 1.0; 0.5; 2.0 |] in
+  for self = 1 to 3 do
+    for _ = 1 to 1000 do
+      ignore
+        (Tact_protocols.Budget.share Tact_protocols.Budget.Adaptive ~bound:10.0
+           ~n:4 ~self ~receiver:0 ~rates)
+    done
+  done
+
+let csn_kernel () =
+  let open Tact_store in
+  let b = Tact_protocols.Csn_buffer.create () in
+  for i = 0 to 999 do
+    Tact_protocols.Csn_buffer.offer b ~start:i [ { Write.origin = 0; seq = i + 1 } ]
+  done;
+  ignore (Tact_protocols.Csn_buffer.slice_from b 900)
+
+let micro_tests =
+  [
+    Test.make ~name:"wlog: 500 accepts + stability commit"
+      (Staged.stage (wlog_kernel ~writes:500));
+    Test.make ~name:"metrics: LCP order error over 300 writes"
+      (Staged.stage (metrics_kernel ~writes:300));
+    Test.make ~name:"sim: 10k events through the engine"
+      (Staged.stage (sim_kernel ~events:10_000));
+    Test.make ~name:"version vectors: 1k merge/dominate (n=16)"
+      (Staged.stage vv_kernel);
+    Test.make ~name:"budget: 3k adaptive share computations"
+      (Staged.stage budget_kernel);
+    Test.make ~name:"csn buffer: 1k slice offers"
+      (Staged.stage csn_kernel);
+    Test.make ~name:"end-to-end: 5s bulletin-board simulation"
+      (Staged.stage bboard_kernel);
+  ]
+
+let run_micro () =
+  Printf.printf "\n%s\nBechamel micro-benchmarks (protocol kernels)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let test = Test.make_grouped ~name:"tact" ~fmt:"%s %s" micro_tests in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "%-55s %14.1f ns/run (%s)\n" name est measure
+          | Some _ | None -> ())
+        tbl)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let no_micro = List.mem "--no-micro" args in
+  let only =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  run_experiments ~quick:(not full) ~only;
+  if not no_micro then run_micro ()

@@ -1,0 +1,1 @@
+examples/bulletin_board.ml: Bboard Bounds Config Conit Engine List Printf Session System Tact_apps Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Value Verify

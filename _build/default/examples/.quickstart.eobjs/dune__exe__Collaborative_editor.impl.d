@@ -1,0 +1,1 @@
+examples/collaborative_editor.ml: Config Editor Engine List Net Printf Replica Session String System Tact_apps Tact_replica Tact_sim Tact_workload Topology Verify

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Printf Tact_apps

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Conit Engine List Net Printf Session System Tact_apps Tact_core Tact_replica Tact_sim Tact_workload Topology Verify

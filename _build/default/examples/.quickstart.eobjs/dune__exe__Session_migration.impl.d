@@ -1,0 +1,1 @@
+examples/session_migration.ml: Config Db Engine List Op Printf Session System Tact_replica Tact_sim Tact_store Topology Value

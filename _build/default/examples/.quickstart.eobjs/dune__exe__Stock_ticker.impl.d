@@ -1,0 +1,1 @@
+examples/stock_ticker.ml: Config Conit Db Engine Float List Net Op Printf Replica Session System Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Value Verify

@@ -1,0 +1,1 @@
+lib/apps/airline.mli: Tact_replica Tact_store Tact_util

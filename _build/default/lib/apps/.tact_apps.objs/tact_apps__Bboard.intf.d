@@ -1,0 +1,1 @@
+lib/apps/bboard.mli: Tact_core Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/apps/editor.ml: Db List Op Printf Session String Tact_replica Tact_store Value

@@ -1,0 +1,1 @@
+lib/apps/editor.mli: Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/apps/qos.ml: Array Config Conit Db Engine Float List Net Op Printf Prng Replica Session Stats System Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Verify

@@ -1,0 +1,1 @@
+lib/apps/roads.mli: Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/apps/sensor.ml: Db Op Session Tact_replica Tact_store Value

@@ -1,0 +1,1 @@
+lib/apps/sensor.mli: Tact_replica Tact_store

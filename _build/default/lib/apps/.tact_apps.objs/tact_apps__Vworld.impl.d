@@ -1,0 +1,1 @@
+lib/apps/vworld.ml: Array Config Db Engine List Net Op Printf Prng Session Stats System Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Value Verify

@@ -1,0 +1,1 @@
+lib/apps/vworld.mli: Tact_replica Tact_store

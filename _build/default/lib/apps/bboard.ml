@@ -1,0 +1,106 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let conit_all = "AllMsg"
+let conit_friends = "MsgFromFriends"
+let board_key = "board"
+
+let post session ~author ~friends ~text ~k =
+  Session.affect_conit session conit_all ~nweight:1.0 ~oweight:1.0;
+  if List.mem author friends then
+    Session.affect_conit session conit_friends ~nweight:1.0 ~oweight:1.0;
+  Session.write session
+    (Op.Append (board_key, Value.List [ Value.Int author; Value.Str text ]))
+    ~k
+
+let dep_of_bounds (b : Bounds.t) = (b.ne, b.ne_rel, b.oe, b.st)
+
+let read_messages session ~all_bound ~friends_bound ~k =
+  let ne, ne_rel, oe, st = dep_of_bounds all_bound in
+  Session.dependon_conit session conit_all ~ne ~ne_rel ~oe ~st ();
+  let ne, ne_rel, oe, st = dep_of_bounds friends_bound in
+  Session.dependon_conit session conit_friends ~ne ~ne_rel ~oe ~st ();
+  Session.read session (fun db -> Db.get db board_key) ~k
+
+type result = {
+  posts : int;
+  reads : int;
+  messages : int;
+  bytes : int;
+  mean_read_latency : float;
+  p99_read_latency : float;
+  mean_write_latency : float;
+  mean_observed_ne : float;
+  max_observed_ne : float;
+  converged : bool;
+  violations : int;
+  oe_syncs : int;
+  st_pulls : int;
+  ne_rounds : int;
+}
+
+let run ?(seed = 1) ?(n = 4) ?(post_rate = 2.0) ?(read_rate = 2.0)
+    ?(duration = 60.0) ?(latency = 0.04) ?(ne_bound = infinity)
+    ?(read_bounds = Bounds.weak) ?(antientropy = Some 1.0) () =
+  let topology = Topology.uniform ~n ~latency ~bandwidth:1_000_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound conit_all ];
+      antientropy_period = antientropy;
+    }
+  in
+  let sys = System.create ~seed ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:(seed + 7) in
+  let posts = ref 0 and reads = ref 0 in
+  let read_lat = ref [] and write_lat = ref [] in
+  let obs_ne = Stats.create () in
+  for i = 0 to n - 1 do
+    let session = Session.create (System.replica sys i) in
+    let wrng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:wrng ~rate:post_rate ~until:duration
+      (fun () ->
+        let t0 = Engine.now engine in
+        incr posts;
+        post session ~author:i ~friends:[ 0; 1 ] ~text:(Printf.sprintf "m%d" !posts)
+          ~k:(fun _ -> write_lat := (Engine.now engine -. t0) :: !write_lat));
+    let rrng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:rrng ~rate:read_rate ~until:duration
+      (fun () ->
+        let t0 = Engine.now engine in
+        let local_before = Wlog.conit_value (Replica.log (System.replica sys i)) conit_all in
+        let global_before = float_of_int (System.write_count sys) in
+        Stats.add obs_ne (global_before -. local_before);
+        read_messages session ~all_bound:read_bounds ~friends_bound:Bounds.weak
+          ~k:(fun _ ->
+            incr reads;
+            read_lat := (Engine.now engine -. t0) :: !read_lat))
+  done;
+  (* Let the system quiesce well past the workload horizon. *)
+  System.run ~until:(duration +. 120.0) sys;
+  let traffic = System.traffic sys in
+  let rl = Array.of_list !read_lat and wl = Array.of_list !write_lat in
+  let mean a =
+    if Array.length a = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+  in
+  {
+    posts = !posts;
+    reads = !reads;
+    messages = traffic.Net.messages;
+    bytes = traffic.Net.bytes;
+    mean_read_latency = mean rl;
+    p99_read_latency = Stats.percentile rl 99.0;
+    mean_write_latency = mean wl;
+    mean_observed_ne = (if Stats.count obs_ne = 0 then 0.0 else Stats.mean obs_ne);
+    max_observed_ne = (if Stats.count obs_ne = 0 then 0.0 else Stats.max obs_ne);
+    converged = System.converged sys;
+    violations = List.length (Verify.check sys);
+    oe_syncs = (System.total_stats sys).Replica.pulls_oe;
+    st_pulls = (System.total_stats sys).Replica.pulls_st;
+    ne_rounds = (System.total_stats sys).Replica.pulls_ne;
+  }

@@ -1,0 +1,89 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let load_conit j = Printf.sprintf "load.%d" j
+let load_key j = Printf.sprintf "load.%d" j
+
+type result = {
+  requests : int;
+  misroutes : int;
+  misroute_rate : float;
+  mean_imbalance : float;
+  mean_load_error : float;
+  messages : int;
+  bytes : int;
+  violations : int;
+}
+
+let run ?(seed = 1) ?(n = 4) ?(rate = 4.0) ?(service_time = 2.0)
+    ?(duration = 60.0) ?(latency = 0.04) ?(ne_bound = infinity) () =
+  let topology = Topology.uniform ~n ~latency ~bandwidth:1_000_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits = List.init n (fun j -> Conit.declare ~ne_bound (load_conit j));
+      antientropy_period = Some 1.0;
+    }
+  in
+  let sys = System.create ~seed ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:(seed + 19) in
+  let requests = ref 0 and misroutes = ref 0 in
+  let load_error = Stats.create () in
+  let imbalance = Stats.create () in
+  (* Omniscient true loads. *)
+  let true_load = Array.make n 0 in
+  let adjust_load session j delta ~k =
+    Session.affect_conit session (load_conit j) ~nweight:delta ~oweight:0.0;
+    Session.write session (Op.Add (load_key j, delta)) ~k
+  in
+  for i = 0 to n - 1 do
+    let session = Session.create (System.replica sys i) in
+    let wrng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:wrng ~rate ~until:duration (fun () ->
+        incr requests;
+        (* Route to the server with the lowest observed load. *)
+        let db = Replica.db (System.replica sys i) in
+        let best = ref 0 and best_load = ref infinity in
+        for j = 0 to n - 1 do
+          let l = Db.get_float db (load_key j) in
+          if l < !best_load then begin
+            best_load := l;
+            best := j
+          end
+        done;
+        let j = !best in
+        let true_min = Array.fold_left min max_int true_load in
+        if true_load.(j) > true_min then incr misroutes;
+        Stats.add load_error (Float.abs (!best_load -. float_of_int true_load.(j)));
+        true_load.(j) <- true_load.(j) + 1;
+        adjust_load session j 1.0 ~k:(fun _ ->
+            (* Service completes after an exponential service time. *)
+            Engine.schedule engine
+              ~delay:(Prng.exponential wrng ~mean:service_time)
+              (fun () ->
+                true_load.(j) <- true_load.(j) - 1;
+                adjust_load session j (-1.0) ~k:ignore)))
+  done;
+  (* Sample the true imbalance once a second over the workload. *)
+  Engine.every engine ~period:1.0 (fun () ->
+      let hi = Array.fold_left max min_int true_load in
+      let lo = Array.fold_left min max_int true_load in
+      Stats.add imbalance (float_of_int (hi - lo));
+      Engine.now engine < duration);
+  System.run ~until:(duration +. 120.0) sys;
+  let traffic = System.traffic sys in
+  {
+    requests = !requests;
+    misroutes = !misroutes;
+    misroute_rate =
+      (if !requests = 0 then 0.0 else float_of_int !misroutes /. float_of_int !requests);
+    mean_imbalance = (if Stats.count imbalance = 0 then 0.0 else Stats.mean imbalance);
+    mean_load_error = (if Stats.count load_error = 0 then 0.0 else Stats.mean load_error);
+    messages = traffic.Net.messages;
+    bytes = traffic.Net.bytes;
+    violations = List.length (Verify.check sys);
+  }

@@ -1,0 +1,14 @@
+open Tact_store
+open Tact_replica
+
+let record_conit name = "record." ^ name
+
+let report session ~record ~delta ~k =
+  Session.affect_conit session (record_conit record) ~nweight:delta ~oweight:1.0;
+  Session.write session (Op.Add (record, delta)) ~k
+
+let query session ~record ~max_error ~k =
+  Session.dependon_conit session (record_conit record) ~ne:max_error ();
+  Session.read session
+    (fun db -> Db.get db record)
+    ~k:(fun v -> k (Value.to_float v))

@@ -1,0 +1,20 @@
+(** WAN resource accounting / sensor networks — Section 4.1's "pure numerical
+    records read/updated from multiple locations".
+
+    One conit per record; numerical error captures the accuracy of the
+    record's value.  An update adds a (possibly negative) delta with
+    |delta| as its numerical weight, so the declared NE bound is a hard
+    accuracy guarantee on every replica's view of the record. *)
+
+val record_conit : string -> string
+
+val report :
+  Tact_replica.Session.t -> record:string -> delta:float ->
+  k:(Tact_store.Op.outcome -> unit) -> unit
+(** Accumulate [delta] into the record (a sensor reading increment, resource
+    consumption, ...). *)
+
+val query :
+  Tact_replica.Session.t -> record:string -> max_error:float ->
+  k:(float -> unit) -> unit
+(** Read the record with the given absolute-accuracy requirement. *)

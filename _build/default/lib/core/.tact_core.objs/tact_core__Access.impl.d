@@ -1,0 +1,1 @@
+lib/core/access.ml: Bounds List Option String Tact_store

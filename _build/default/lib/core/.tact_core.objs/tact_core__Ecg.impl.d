@@ -1,0 +1,1 @@
+lib/core/ecg.ml: Array List Tact_store Version_vector Write

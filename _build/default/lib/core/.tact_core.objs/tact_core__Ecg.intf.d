@@ -1,0 +1,1 @@
+lib/core/ecg.mli: Tact_store

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float List Tact_store Write

@@ -1,0 +1,27 @@
+type t = { ne : float; ne_rel : float; oe : float; st : float }
+
+let weak = { ne = infinity; ne_rel = infinity; oe = infinity; st = infinity }
+let strong = { ne = 0.0; ne_rel = 0.0; oe = 0.0; st = 0.0 }
+
+let make ?(ne = infinity) ?(ne_rel = infinity) ?(oe = infinity) ?(st = infinity) () =
+  { ne; ne_rel; oe; st }
+
+let is_strong b = b.ne = 0.0 && b.oe = 0.0
+let is_weak b = b = weak
+
+let within ~ne ~ne_rel ~oe ~st b =
+  ne <= b.ne && ne_rel <= b.ne_rel && oe <= b.oe && st <= b.st
+
+let tighten a b =
+  {
+    ne = Float.min a.ne b.ne;
+    ne_rel = Float.min a.ne_rel b.ne_rel;
+    oe = Float.min a.oe b.oe;
+    st = Float.min a.st b.st;
+  }
+
+let comp_to_string x = if x = infinity then "inf" else Printf.sprintf "%g" x
+
+let to_string b =
+  Printf.sprintf "(ne=%s ne_rel=%s oe=%s st=%s)" (comp_to_string b.ne)
+    (comp_to_string b.ne_rel) (comp_to_string b.oe) (comp_to_string b.st)

@@ -1,0 +1,34 @@
+(** Per-(access, conit) consistency levels: the three-dimensional vector
+    (numerical error, order error, staleness) of Section 3.2.
+
+    [infinity] in a component means that dimension is unconstrained.  The
+    consistency spectrum of Section 3.3 runs from {!strong} (all zero) to
+    {!weak} (all infinite). *)
+
+type t = {
+  ne : float;  (** max absolute numerical error *)
+  ne_rel : float;  (** max relative numerical error, as a fraction of the
+                       actual value *)
+  oe : float;  (** max order error (weighted out-of-order writes) *)
+  st : float;  (** max staleness, seconds *)
+}
+
+val weak : t
+(** No constraints: the weak-consistency extreme. *)
+
+val strong : t
+(** All bounds zero: the 1SR+EXT extreme (Theorem 2). *)
+
+val make : ?ne:float -> ?ne_rel:float -> ?oe:float -> ?st:float -> unit -> t
+(** Unspecified components default to unconstrained. *)
+
+val is_strong : t -> bool
+val is_weak : t -> bool
+
+val within : ne:float -> ne_rel:float -> oe:float -> st:float -> t -> bool
+(** Are the given observed metric values inside the bound vector? *)
+
+val tighten : t -> t -> t
+(** Componentwise minimum. *)
+
+val to_string : t -> string

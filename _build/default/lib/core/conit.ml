@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  ne_bound : float;
+  ne_rel_bound : float;
+  initial_value : float;
+}
+
+let declare ?(ne_bound = infinity) ?(ne_rel_bound = infinity) ?(initial_value = 0.0)
+    name =
+  { name; ne_bound; ne_rel_bound; initial_value }
+
+let unconstrained name = declare name

@@ -1,0 +1,29 @@
+(** Conit declarations.
+
+    A conit is logically a function from database state to a real number
+    (Section 3.2), but applications never write that function down: under the
+    weight-specification discipline of Section 3.4, a conit's value is the
+    accumulated numerical weight of the writes affecting it, and the conit
+    itself is identified by a symbolic name (e.g. ["AllMsg"],
+    ["MsgFromFriends"]).
+
+    A declaration optionally fixes the {e system-wide} numerical-error bound
+    that the proactive push protocol maintains for the conit.  Per-access NE
+    requirements no looser than the declared bound are then satisfied without
+    blocking; tighter one-off requirements trigger an on-demand pull. *)
+
+type t = {
+  name : string;
+  ne_bound : float;  (** system-wide absolute NE maintained by pushes *)
+  ne_rel_bound : float;  (** system-wide relative NE maintained by pushes *)
+  initial_value : float;
+      (** the conit's value over the initial database (e.g. seats initially
+          available on a flight); accumulated write weights are offsets from
+          this base.  Only relative error depends on it. *)
+}
+
+val declare :
+  ?ne_bound:float -> ?ne_rel_bound:float -> ?initial_value:float -> string -> t
+(** Unspecified bounds are unconstrained; [initial_value] defaults to 0. *)
+
+val unconstrained : string -> t

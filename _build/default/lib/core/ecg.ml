@@ -1,0 +1,40 @@
+open Tact_store
+
+let canonical writes = List.sort Write.ts_compare writes
+
+let actual_prefix ~all ~return_time ~stime ~observed =
+  canonical
+    (List.filter
+       (fun w -> return_time w.Write.id < stime || observed w.Write.id)
+       all)
+
+let externally_compatible ~order ~return_time =
+  (* O(n^2) pairwise check — this is a test oracle, not protocol code. *)
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* arr.(i) precedes arr.(j); violated iff arr.(j) returned before
+         arr.(i) was accepted. *)
+      if return_time arr.(j).Write.id < arr.(i).Write.accept_time then ok := false
+    done
+  done;
+  !ok
+
+let causally_compatible ~order ~accept_vector =
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* arr.(j) follows arr.(i) in the order; violated iff arr.(i)'s accept
+         vector already covered arr.(j) (i.e. arr.(j) causally precedes
+         arr.(i)). *)
+      let vi = accept_vector arr.(i).Write.id in
+      let idj = arr.(j).Write.id in
+      if Version_vector.covers vi ~origin:idj.Write.origin ~seq:idj.Write.seq then
+        ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,44 @@
+(** ECG reference histories (Section 3.2).
+
+    An ECG history is a serial history over all accesses accepted by the
+    system that is compatible with both external order (a returns to its user
+    before b is submitted ⇒ a precedes b) and causal order (a is in the local
+    history of b's originating replica when b is accepted ⇒ a precedes b).
+    Consistency of the continuous model is defined as distance between local
+    histories and some ECG history.
+
+    In a simulation with a global clock, ordering all writes by
+    [(accept_time, origin, seq)] yields one canonical ECG history: external
+    order is respected because a write's accept time never exceeds its return
+    time, and causal order is respected because writes propagate only after
+    acceptance.  The two compatibility predicates below let tests check this
+    rather than assume it. *)
+
+val canonical : Tact_store.Write.t list -> Tact_store.Write.t list
+(** Sort by the canonical timestamp order. *)
+
+val actual_prefix :
+  all:Tact_store.Write.t list ->
+  return_time:(Tact_store.Write.id -> float) ->
+  stime:float ->
+  observed:(Tact_store.Write.id -> bool) ->
+  Tact_store.Write.t list
+(** The writes that {e must} precede an access submitted at [stime] in every
+    ECG history: those that returned to their users strictly before [stime]
+    (external order) plus those the access's replica had already seen (causal
+    order).  Using this most-permissive prefix makes the per-access bound
+    check a necessary condition that our protocols also achieve; see
+    EXPERIMENTS.md §verification. *)
+
+val externally_compatible :
+  order:Tact_store.Write.t list -> return_time:(Tact_store.Write.id -> float) -> bool
+(** Does the given serial order respect external order among writes?  (If
+    [a] returned before [b] was accepted, [a] must precede [b].) *)
+
+val causally_compatible :
+  order:Tact_store.Write.t list ->
+  accept_vector:(Tact_store.Write.id -> Tact_store.Version_vector.t) ->
+  bool
+(** Does the given serial order respect causal order?  [accept_vector w] is
+    the originating replica's version vector at the moment [w] was accepted;
+    [a] causally precedes [b] iff [b]'s accept vector covers [a]. *)

@@ -1,0 +1,43 @@
+open Tact_store
+
+let value history conit =
+  List.fold_left (fun acc w -> acc +. Write.nweight w conit) 0.0 history
+
+let numerical_error ~actual ~observed conit =
+  Float.abs (value actual conit -. value observed conit)
+
+let relative_error ~actual ~observed conit =
+  let av = value actual conit in
+  let err = Float.abs (av -. value observed conit) in
+  if err = 0.0 then 0.0 else if av = 0.0 then infinity else err /. Float.abs av
+
+let projection history conit = List.filter (fun w -> Write.affects_conit w conit) history
+
+let order_error_lcp ~ecg ~local conit =
+  let ecg_proj = projection ecg conit in
+  let local_proj = projection local conit in
+  (* Walk both projections; beyond the first divergence, every remaining local
+     write counts with its oweight. *)
+  let rec beyond_lcp e l =
+    match (e, l) with
+    | _, [] -> []
+    | [], l -> l
+    | we :: e', wl :: l' ->
+      if we.Write.id = wl.Write.id then beyond_lcp e' l' else l
+  in
+  List.fold_left
+    (fun acc w -> acc +. Write.oweight w conit)
+    0.0
+    (beyond_lcp ecg_proj local_proj)
+
+let order_error_tentative ~tentative conit =
+  List.fold_left
+    (fun acc w -> if Write.affects_conit w conit then acc +. Write.oweight w conit else acc)
+    0.0 tentative
+
+let staleness ~now ~unseen conit =
+  List.fold_left
+    (fun acc w ->
+      if Write.affects_conit w conit then Float.max acc (now -. w.Write.accept_time)
+      else acc)
+    0.0 unseen

@@ -1,0 +1,45 @@
+(** The three conit consistency metrics (Section 3.2, Figure 3), as pure
+    functions over explicit write histories.
+
+    Two readings of order error are provided:
+
+    - {!order_error_tentative} — the {e enforcement} reading used by the TACT
+      prototype and by our protocols: the weighted count of writes still
+      subject to reordering (the tentative suffix) that affect the conit.
+      This is what the replica can observe locally and bound.
+    - {!order_error_lcp} — the {e definitional} reading of Section 3.2: the
+      weighted count of writes in the local history's projection on the conit
+      that lie beyond the longest common prefix with the reference (ECG)
+      history's projection.
+
+    Under stability commitment the local order is a prefix-interleaving of the
+    canonical ECG order and [order_error_lcp <= order_error_tentative]
+    (bounding the tentative suffix soundly bounds definitional order error);
+    this relationship is property-tested. *)
+
+val value : Tact_store.Write.t list -> string -> float
+(** Accumulated numerical weight of a history for a conit — the conit's value
+    under the weight-specification discipline (Section 3.4). *)
+
+val numerical_error : actual:Tact_store.Write.t list -> observed:Tact_store.Write.t list -> string -> float
+(** Absolute numerical error: |value actual - value observed|. *)
+
+val relative_error : actual:Tact_store.Write.t list -> observed:Tact_store.Write.t list -> string -> float
+(** Relative numerical error: absolute error divided by |value actual|;
+    0 when both are empty of the conit, [infinity] when only the actual value
+    is 0. *)
+
+val projection : Tact_store.Write.t list -> string -> Tact_store.Write.t list
+(** Writes of the history affecting the conit, in history order
+    (the paper's write order projection). *)
+
+val order_error_lcp : ecg:Tact_store.Write.t list -> local:Tact_store.Write.t list -> string -> float
+(** Summed oweight of the local projection's writes beyond the longest common
+    prefix with the ECG projection. *)
+
+val order_error_tentative : tentative:Tact_store.Write.t list -> string -> float
+(** Summed oweight of tentative writes affecting the conit. *)
+
+val staleness : now:float -> unseen:Tact_store.Write.t list -> string -> float
+(** Age of the oldest write affecting the conit not seen locally; 0 when
+    every write affecting it has been seen. *)

@@ -1,0 +1,1 @@
+lib/experiments/e01_fig4.ml: Buffer List Metrics Op Printf Table Tact_core Tact_store Tact_util Write

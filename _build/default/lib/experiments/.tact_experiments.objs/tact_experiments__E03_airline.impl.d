@@ -1,0 +1,1 @@
+lib/experiments/e03_airline.ml: List Plot Printf Table Tact_apps Tact_util

@@ -1,0 +1,1 @@
+lib/experiments/e03_airline.mli:

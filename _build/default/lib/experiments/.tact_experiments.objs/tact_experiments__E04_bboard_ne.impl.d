@@ -1,0 +1,1 @@
+lib/experiments/e04_bboard_ne.ml: List Plot Printf Table Tact_apps Tact_util

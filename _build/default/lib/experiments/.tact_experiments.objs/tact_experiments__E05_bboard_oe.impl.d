@@ -1,0 +1,1 @@
+lib/experiments/e05_bboard_oe.ml: Bounds List Plot Printf Table Tact_apps Tact_core Tact_util

@@ -1,0 +1,1 @@
+lib/experiments/e06_bboard_st.ml: Bounds List Plot Printf Table Tact_apps Tact_core Tact_util

@@ -1,0 +1,1 @@
+lib/experiments/e07_qos.ml: List Plot Printf Table Tact_apps Tact_util

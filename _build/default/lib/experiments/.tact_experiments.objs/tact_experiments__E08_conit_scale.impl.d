@@ -1,0 +1,1 @@
+lib/experiments/e08_conit_scale.ml: Config Conit List Net Op Printf Replica Sys System Table Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Write

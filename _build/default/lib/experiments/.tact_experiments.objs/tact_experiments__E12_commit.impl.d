@@ -1,0 +1,1 @@
+lib/experiments/e12_commit.ml: Array Config Engine List Monitor Net Op Plot Prng Replica System Table Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Wlog Write

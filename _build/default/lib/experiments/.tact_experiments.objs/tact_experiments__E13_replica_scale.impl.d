@@ -1,0 +1,1 @@
+lib/experiments/e13_replica_scale.ml: List Plot Printf Table Tact_apps Tact_util

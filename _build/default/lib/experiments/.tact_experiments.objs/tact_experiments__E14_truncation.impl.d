@@ -1,0 +1,1 @@
+lib/experiments/e14_truncation.ml: Config Engine List Net Op Printf Prng Replica System Table Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Wlog Write

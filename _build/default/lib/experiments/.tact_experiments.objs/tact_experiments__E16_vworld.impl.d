@@ -1,0 +1,1 @@
+lib/experiments/e16_vworld.ml: Printf Table Tact_apps Tact_util

@@ -1,0 +1,1 @@
+lib/experiments/e17_wan.ml: Config Conit Engine List Net Op Printf Prng Replica Stats System Table Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Wlog Write

@@ -1,0 +1,1 @@
+lib/experiments/e17_wan.mli:

@@ -1,0 +1,1 @@
+lib/experiments/e18_editor.ml: Char Config Editor Engine List Printf Prng Replica Session Stats String System Table Tact_apps Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Verify

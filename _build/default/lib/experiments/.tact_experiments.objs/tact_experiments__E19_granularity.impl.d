@@ -1,0 +1,1 @@
+lib/experiments/e19_granularity.ml: Config Conit Engine Float List Net Op Printf Prng Replica System Table Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Write

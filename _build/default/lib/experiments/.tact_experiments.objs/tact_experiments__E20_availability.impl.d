@@ -1,0 +1,1 @@
+lib/experiments/e20_availability.ml: Bounds Config Conit Db Engine List Net Op Printf Prng Replica System Table Tact_core Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Write

@@ -1,0 +1,1 @@
+lib/experiments/e21_gossip.ml: Array Config Engine List Net Op Printf Prng Replica Stats System Table Tact_replica Tact_sim Tact_store Tact_util Tact_workload Topology Wlog Write

@@ -1,0 +1,32 @@
+(** E2 — the two extremes of the continuous consistency spectrum
+    (Section 3.3, Theorems 2/3, Corollary 1).
+
+    A mixed read/write workload over per-data-item conits runs twice:
+
+    - {b strong}: every conit declared with NE bound 0 and every access
+      requiring (0, 0, 0) — the 1SR+EXT extreme.  The checks: the verifier
+      reports no violations (including the definitional order-error reading);
+      every write's observed (tentative) result equals its actual (committed)
+      result; every read's observed result equals the result of replaying its
+      actual prefix history (Corollary 1); and the committed order is
+      compatible with external and causal order.
+    - {b weak}: no constraints — the other extreme, where the same checks are
+      expected to fail under concurrency while the cost collapses.
+
+    The rendered table contrasts correctness and cost of the two ends. *)
+
+type side = {
+  label : string;
+  accesses : int;
+  anomalies : int;  (** observed result <> actual result *)
+  write_latency : float;
+  read_latency : float;
+  messages : int;
+  bytes : int;
+  committed_ext_compatible : bool;
+  violations : int;
+}
+
+val run_side : ?quick:bool -> strong:bool -> seed:int -> unit -> side
+
+val run : ?quick:bool -> unit -> string

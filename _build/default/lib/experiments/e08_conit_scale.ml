@@ -1,0 +1,78 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let conit_counts = [ 1; 10; 100; 1000; 10000 ]
+
+let conit_name c = Printf.sprintf "c%d" c
+
+let run_one ~conits ~duration =
+  let n = 4 in
+  let topology = Topology.uniform ~n ~latency:0.04 ~bandwidth:1_000_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits = List.init conits (fun c -> Conit.declare ~ne_bound:4.0 (conit_name c));
+      antientropy_period = None;
+    }
+  in
+  let sys = System.create ~seed:31 ~topology ~config () in
+  let engine = System.engine sys in
+  let writes = ref 0 in
+  let cpu0 = Sys.time () in
+  for i = 0 to n - 1 do
+    let r = System.replica sys i in
+    Tact_workload.Workload.staggered engine ~start:0.5 ~gap:0.25
+      ~count:(int_of_float (duration /. 0.25))
+      (fun k ->
+        incr writes;
+        let c = conit_name (((k * n) + i) mod conits) in
+        Replica.submit_write r ~deps:[]
+          ~affects:[ { Write.conit = c; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Add (c, 1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:(duration +. 60.0) sys;
+  let cpu = Sys.time () -. cpu0 in
+  let traffic = System.traffic sys in
+  let book =
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      total := !total + Replica.bookkeeping_entries (System.replica sys i)
+    done;
+    !total
+  in
+  ( !writes,
+    traffic.Net.messages,
+    traffic.Net.bytes,
+    book,
+    cpu *. 1000.0 /. float_of_int (max 1 !writes) )
+
+let run ?(quick = false) () =
+  let duration = if quick then 10.0 else 30.0 in
+  let counts = if quick then [ 1; 10; 100; 1000 ] else conit_counts in
+  let tbl =
+    Table.create
+      ~title:
+        "E8 / Section 5 — protocol cost vs number of conits (4 replicas, \
+         fixed write rate, NE bound 4 per conit)"
+      ~columns:
+        [ "conits"; "writes"; "msgs/write"; "bytes/write"; "bookkeeping";
+          "cpu ms/write" ]
+  in
+  List.iter
+    (fun c ->
+      let writes, msgs, bytes, book, cpu = run_one ~conits:c ~duration in
+      Table.add_row tbl
+        [ string_of_int c; string_of_int writes;
+          Printf.sprintf "%.2f" (float_of_int msgs /. float_of_int writes);
+          Printf.sprintf "%.1f" (float_of_int bytes /. float_of_int writes);
+          string_of_int book; Printf.sprintf "%.4f" cpu ])
+    counts;
+  Table.render tbl
+  ^ "expected: msgs/write falls (per-conit budgets relax the global push \
+     pressure) and cpu/bookkeeping grow far slower than the conit count — \
+     bookkeeping tracks active (peer, conit) pairs, not the declared \
+     population.\n"

@@ -1,0 +1,20 @@
+(** E9 — Section 4.2: prior relaxed-consistency models expressed as conit
+    instances, each exercised by a scenario that checks the property the
+    original model promises.
+
+    | model | property checked |
+    |-------|------------------|
+    | conflict matrix | conflicting method invocations behave 1SR (no surprise aborts); non-conflicting ones stay cheap; "bounded conflict" holds |
+    | N-ignorant | a replica is never ignorant of more than N returned transactions |
+    | lazy replication | forced transactions: identical commit order everywhere and observed = actual; causal ones are cheap but anomalous |
+    | cluster consistency | strict operations anomaly-free within their cluster; weak ones unconstrained |
+    | timed / delta | no read misses a write older than delta |
+    | quasi-copy | version / arithmetic / object conditions hold as conit bounds |
+    | memory-model DAG | acceptance order topologically sorts the DAG; every node sees its predecessors' effects |
+*)
+
+type row = { model : string; scenario : string; property : string; holds : bool }
+
+val rows : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> string

@@ -1,0 +1,21 @@
+(** E10 — Figure 1 / Section 1: the consistency–performance continuum.
+
+    One mixed workload is run at several points of the joint (NE, OE, ST)
+    spectrum, from the weak extreme to the strong one.  For every point the
+    table reports access latency and protocol traffic along with the residual
+    inconsistency actually observed.  Expected shape: cost (latency, traffic)
+    rises monotonically toward the strong end while observed inconsistency
+    falls to zero — the tradeoff the continuous model exists to expose. *)
+
+type point = {
+  label : string;
+  mean_latency : float;
+  p99_latency : float;
+  messages : int;
+  bytes : int;
+  mean_obs_ne : float;
+  anomalies : int;
+  violations : int;
+}
+
+val run : ?quick:bool -> unit -> string

@@ -1,0 +1,97 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+type row = {
+  policy : string;
+  pushes : int;
+  messages : int;
+  bytes : int;
+  mean_write_latency : float;
+  max_unseen : float;
+}
+
+let conit = "hot"
+
+let run_policy ~policy ~label ~duration =
+  let n = 4 in
+  let topology = Topology.uniform ~n ~latency:0.04 ~bandwidth:1_000_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound:9.0 conit ];
+      budget_policy = policy;
+      antientropy_period = None;
+    }
+  in
+  let sys = System.create ~seed:107 ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:109 in
+  let wlat = Stats.create () in
+  let max_unseen = ref 0.0 in
+  for i = 0 to n - 1 do
+    let r = System.replica sys i in
+    let prng = Prng.split rng in
+    let rate = if i = 0 then 5.0 else 0.4 in
+    Tact_workload.Workload.poisson engine ~rng:prng ~rate ~until:duration
+      (fun () ->
+        let t0 = Engine.now engine in
+        Replica.submit_write r ~deps:[]
+          ~affects:[ { Write.conit; nweight = 1.0; oweight = 0.0 } ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:(fun _ -> Stats.add wlat (Engine.now engine -. t0)))
+  done;
+  Engine.every engine ~period:0.25 (fun () ->
+      for i = 0 to n - 1 do
+        let local = Wlog.conit_value (Replica.log (System.replica sys i)) conit in
+        let gap = float_of_int (System.write_count sys) -. local in
+        if gap > !max_unseen then max_unseen := gap
+      done;
+      Engine.now engine < duration);
+  System.run ~until:(duration +. 60.0) sys;
+  let traffic = System.traffic sys in
+  let stats = System.total_stats sys in
+  {
+    policy = label;
+    pushes = stats.Replica.pushes_budget;
+    messages = traffic.Net.messages;
+    bytes = traffic.Net.bytes;
+    mean_write_latency = (if Stats.count wlat = 0 then 0.0 else Stats.mean wlat);
+    max_unseen = !max_unseen;
+  }
+
+let run ?(quick = false) () =
+  let duration = if quick then 20.0 else 60.0 in
+  let rows =
+    [
+      run_policy ~policy:Tact_protocols.Budget.Even ~label:"even" ~duration;
+      run_policy ~policy:Tact_protocols.Budget.Adaptive ~label:"adaptive" ~duration;
+      run_policy
+        ~policy:(Tact_protocols.Budget.Proportional [| 5.0; 0.4; 0.4; 0.4 |])
+        ~label:"proportional (oracle)" ~duration;
+    ]
+  in
+  let tbl =
+    Table.create
+      ~title:
+        "E11 — NE budget allocation under 12x write skew (bound 9, 4 replicas)"
+      ~columns:
+        [ "policy"; "budget pushes"; "msgs"; "KB"; "w-lat(s)"; "max unseen" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [ r.policy; string_of_int r.pushes; string_of_int r.messages;
+          Printf.sprintf "%.1f" (float_of_int r.bytes /. 1024.0);
+          Printf.sprintf "%.4f" r.mean_write_latency;
+          Printf.sprintf "%.1f" r.max_unseen ])
+    rows;
+  Table.render tbl
+  ^ "expected: the adaptive split cuts pushes and traffic versus the even \
+     split at equal bounds, at the cost of transient over-runs while rate \
+     estimates converge.  Note the pure rate-proportional split can backfire: \
+     it shrinks the cold writers' shares below a single write's weight, \
+     making every cold write push immediately — the reason adaptive blends \
+     toward even when rates are uncertain.\n"

@@ -1,0 +1,20 @@
+(** E11 — ablation: numerical-error budget allocation policies under skewed
+    write rates (DESIGN.md design-choice index).
+
+    One replica writes an order of magnitude faster than the rest; the
+    declared NE bound is fixed.  With the {b even} split the hot writer
+    exhausts its small share and pushes constantly while the idle writers'
+    shares sit unused; the {b adaptive} split reallocates budget toward the
+    hot writer, trading the same error bound for less traffic (at the cost
+    of transient over-runs while rate estimates disagree). *)
+
+type row = {
+  policy : string;
+  pushes : int;
+  messages : int;
+  bytes : int;
+  mean_write_latency : float;
+  max_unseen : float;  (** max sampled accepted-but-unseen weight at any replica *)
+}
+
+val run : ?quick:bool -> unit -> string

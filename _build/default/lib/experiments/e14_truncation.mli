@@ -1,0 +1,19 @@
+(** E14 — extension: log truncation and snapshot catch-up.
+
+    A Bayou-style log grows without bound unless committed writes are
+    discarded; but a truncated log can no longer serve write-by-write diffs
+    to a replica that fell behind, forcing a full-state snapshot transfer.
+    This experiment partitions one replica while the rest keep committing
+    (primary scheme) under different retention limits, and reports the
+    memory/traffic tradeoff: retained log size versus snapshot transfers and
+    catch-up bytes.  Correctness bar: the lagging replica always converges. *)
+
+type row = {
+  keep : string;
+  max_retained : int;
+  snapshots : int;
+  bytes : int;
+  converged : bool;
+}
+
+val run : ?quick:bool -> unit -> string

@@ -1,0 +1,94 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+type row = {
+  ratio : float;
+  push_msgs : int;
+  pull_msgs : int;
+  push_read_lat : float;
+  pull_read_lat : float;
+}
+
+let bound = 4.0
+
+let run_mode ~push ~write_rate ~read_rate ~duration =
+  let n = 4 in
+  let topology = Topology.uniform ~n ~latency:0.04 ~bandwidth:1_000_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits =
+        [ (if push then Conit.declare ~ne_bound:bound "c" else Conit.unconstrained "c") ];
+      antientropy_period = None;
+    }
+  in
+  let sys = System.create ~seed:139 ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:149 in
+  let rlat = Stats.create () in
+  for i = 0 to n - 1 do
+    let r = System.replica sys i in
+    let wrng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:wrng ~rate:write_rate ~until:duration
+      (fun () ->
+        Replica.submit_write r ~deps:[]
+          ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 0.0 } ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore);
+    let rrng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:rrng ~rate:read_rate ~until:duration
+      (fun () ->
+        let t0 = Engine.now engine in
+        Replica.submit_read r
+          ~deps:[ ("c", Bounds.make ~ne:bound ()) ]
+          ~f:(fun db -> Db.get db "x")
+          ~k:(fun _ -> Stats.add rlat (Engine.now engine -. t0)))
+  done;
+  System.run ~until:(duration +. 60.0) sys;
+  let violations = List.length (Verify.check sys) in
+  assert (violations = 0);
+  ( (System.traffic sys).Net.messages,
+    (if Stats.count rlat = 0 then 0.0 else Stats.mean rlat) )
+
+let run ?(quick = false) () =
+  let duration = if quick then 15.0 else 45.0 in
+  let write_rate = 2.0 in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E15 — push vs pull enforcement of NE <= %g (4 replicas, write \
+            rate %g/s each)"
+           bound write_rate)
+      ~columns:
+        [ "read/write ratio"; "push msgs"; "pull msgs"; "push r-lat(s)";
+          "pull r-lat(s)"; "winner" ]
+  in
+  let series_push = ref [] and series_pull = ref [] in
+  List.iter
+    (fun ratio ->
+      let read_rate = write_rate *. ratio in
+      let push_msgs, push_lat =
+        run_mode ~push:true ~write_rate ~read_rate ~duration
+      in
+      let pull_msgs, pull_lat =
+        run_mode ~push:false ~write_rate ~read_rate ~duration
+      in
+      Table.add_row tbl
+        [ Printf.sprintf "%.2f" ratio; string_of_int push_msgs;
+          string_of_int pull_msgs; Printf.sprintf "%.4f" push_lat;
+          Printf.sprintf "%.4f" pull_lat;
+          (if push_msgs < pull_msgs then "push" else "pull") ];
+      series_push := (ratio, float_of_int push_msgs) :: !series_push;
+      series_pull := (ratio, float_of_int pull_msgs) :: !series_pull)
+    [ 0.05; 0.1; 0.25; 0.5; 1.0; 2.0 ];
+  Table.render tbl
+  ^ Plot.series ~title:"messages vs read/write ratio (a = push, b = pull)"
+      [ ("push", List.rev !series_push); ("pull", List.rev !series_pull) ]
+  ^ "expected: pull costs grow with the read rate (a round per read) while \
+     push costs are read-insensitive — the crossover favours pull only when \
+     reads are rare.  Push also gives reads local latency; pull charges \
+     every read a WAN round trip.\n"

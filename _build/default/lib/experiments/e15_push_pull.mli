@@ -1,0 +1,25 @@
+(** E15 — extension/ablation: push vs pull enforcement of a numerical-error
+    bound (the tradeoff studied in the authors' numerical-bounding work that
+    Section 5 builds on).
+
+    The same NE target B can be met two ways:
+
+    - {b push}: declare the bound on the conit, so writers proactively push
+      once their unacked weight exceeds their budget share — cost scales with
+      the write rate;
+    - {b pull}: declare nothing and have every read request [ne <= B],
+      triggering a pull round per read (the bound is tighter than the
+      declared infinity) — cost scales with the read rate.
+
+    Sweeping the read/write ratio exposes the crossover: pull wins when reads
+    are rare, push wins when reads dominate. *)
+
+type row = {
+  ratio : float;  (** read rate / write rate *)
+  push_msgs : int;
+  pull_msgs : int;
+  push_read_lat : float;
+  pull_read_lat : float;
+}
+
+val run : ?quick:bool -> unit -> string

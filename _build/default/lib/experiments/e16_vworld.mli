@@ -1,0 +1,11 @@
+(** E16 — Section 4.1's distributed games / virtual reality discussion:
+    differentiated focus and nimbus via per-access consistency levels.
+
+    One avatar per replica random-walks; observers watch their focus target
+    with a tight position bound (paying a pull round per observation) and
+    peripheral avatars with a loose bound (served locally for free).  The
+    table shows the accuracy/latency split between the two classes under the
+    same workload — the self-determination property (Theorem 1) making
+    per-access quality of service real. *)
+
+val run : ?quick:bool -> unit -> string

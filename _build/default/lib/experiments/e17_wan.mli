@@ -1,0 +1,12 @@
+(** E17 — extension: heterogeneous wide-area deployments.
+
+    The paper's setting is a homogeneous WAN; real deployments are clusters
+    of nearby replicas joined by slow links.  Two LAN clusters (2 ms) joined
+    by a WAN (80 ms) run the same bounded workload; the table reports how
+    long a write takes to become visible to a same-cluster peer versus a
+    cross-cluster one, per NE bound.  Expected shape: visibility tracks the
+    link a push must cross — tight bounds drag the WAN latency into every
+    write, loose bounds amortise it — while the bound still caps cross-
+    cluster error. *)
+
+val run : ?quick:bool -> unit -> string

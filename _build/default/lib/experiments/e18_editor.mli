@@ -1,0 +1,11 @@
+(** E18 — Section 4.1's shared editor: bounding the instability of the
+    observed document.
+
+    Authors at three sites type concurrently into one paragraph; reviewers
+    read under a bound on {e instability} — the order-error reading: how many
+    characters of the view are still uncommitted and subject to reordering.
+    The sweep reports the instability actually observed and the read latency
+    paid for commitment.  Expected shape: observed instability stays under
+    the bound and grows with it, latency shrinks. *)
+
+val run : ?quick:bool -> unit -> string

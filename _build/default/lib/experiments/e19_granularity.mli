@@ -1,0 +1,14 @@
+(** E19 — conit granularity: one coarse conit versus per-item conits.
+
+    How an application {e defines} its conits is the model's main degree of
+    freedom (Sections 3.1, 4.1 — e.g. splitting first-class from coach
+    seats).  Here the same multi-item workload runs under (a) one coarse
+    conit covering every item with absolute bound B, and (b) one conit per
+    item, each with the same bound B.  The coarse definition suffers false
+    sharing — every write anywhere consumes the single shared budget, so
+    pushes fire constantly — while fine conits spend budget only where
+    there is actual interest, at the cost of per-conit bookkeeping.
+    Expected shape: fine granularity cuts traffic by about the item count
+    while per-item error stays bounded either way. *)
+
+val run : ?quick:bool -> unit -> string

@@ -1,0 +1,12 @@
+(** E20 — extension: the consistency/availability face of the tradeoff.
+
+    The paper's continuum trades consistency against {e performance}; under
+    partitions the same knob trades it against {e availability}.  Reads with
+    a deadline run through a partition window: a strongly consistent read
+    cannot be served from a disconnected replica and times out; bounded-
+    staleness reads survive if their bound outlasts the partition; weak
+    reads are always available.  The table reports timeout rates per
+    (bound, deadline) — a CAP curve with the consistency axis made
+    continuous. *)
+
+val run : ?quick:bool -> unit -> string

@@ -1,0 +1,92 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_replica
+
+let clusters = 2
+let per_cluster = 3
+let n = clusters * per_cluster
+
+let cluster_of i = i / per_cluster
+
+(* Hierarchical plan: mostly-LAN ring; the first replica of each cluster
+   additionally bridges to the other cluster's bridge. *)
+let hierarchical i =
+  let base = cluster_of i * per_cluster in
+  let lan = Array.init (per_cluster - 1) (fun k -> base + ((i - base + 1 + k) mod per_cluster)) in
+  if i = base then
+    let other_bridge = (base + per_cluster) mod n in
+    Array.append lan [| other_bridge |]
+  else lan
+
+let run_one ~plan ~duration =
+  let topology =
+    Topology.clustered ~clusters ~per_cluster ~local:0.002 ~wan:0.08
+      ~bandwidth:500_000.0
+  in
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.5;
+      gossip_plan = plan;
+    }
+  in
+  let sys = System.create ~seed:211 ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:223 in
+  let cross_vis = Stats.create () in
+  for i = 0 to n - 1 do
+    let prng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:prng ~rate:1.0 ~until:duration
+      (fun () ->
+        let t0 = Engine.now engine in
+        (* Watch when a write from this replica reaches a peer in the other
+           cluster. *)
+        let peer = ((cluster_of i + 1) mod clusters * per_cluster) + 1 in
+        let threshold = Wlog.num_known (Replica.log (System.replica sys peer)) + 1 in
+        Replica.submit_write (System.replica sys i) ~deps:[]
+          ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore;
+        let rec poll () =
+          if Wlog.num_known (Replica.log (System.replica sys peer)) >= threshold then
+            Stats.add cross_vis (Engine.now engine -. t0)
+          else Engine.schedule engine ~delay:0.02 poll
+        in
+        poll ())
+  done;
+  System.run ~until:(duration +. 90.0) sys;
+  let wan =
+    Net.traffic_where (System.net sys) (fun ~src ~dst -> cluster_of src <> cluster_of dst)
+  in
+  let lan =
+    Net.traffic_where (System.net sys) (fun ~src ~dst -> cluster_of src = cluster_of dst)
+  in
+  ( wan.Net.bytes,
+    lan.Net.bytes,
+    (if Stats.count cross_vis = 0 then 0.0 else Stats.mean cross_vis),
+    System.converged sys )
+
+let run ?(quick = false) () =
+  let duration = if quick then 15.0 else 45.0 in
+  let tbl =
+    Table.create
+      ~title:
+        "E21 — topology-aware gossip (2 clusters of 3; 2ms LAN / 80ms WAN; \
+         gossip every 0.5s)"
+      ~columns:
+        [ "plan"; "WAN KB"; "LAN KB"; "cross-cluster visibility(s)"; "converged" ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      let wan, lan, vis, conv = run_one ~plan ~duration in
+      Table.add_row tbl
+        [ label;
+          Printf.sprintf "%.1f" (float_of_int wan /. 1024.0);
+          Printf.sprintf "%.1f" (float_of_int lan /. 1024.0);
+          Printf.sprintf "%.3f" vis; string_of_bool conv ])
+    [ ("flat round-robin", None); ("hierarchical (bridges)", Some hierarchical) ];
+  Table.render tbl
+  ^ "expected: the hierarchical plan cuts WAN bytes severalfold at a modest \
+     cross-cluster freshness cost (one extra relay hop through the \
+     bridges); both converge.\n"

@@ -1,0 +1,11 @@
+(** E21 — extension: topology-aware gossip.
+
+    Flat round-robin gossip treats an 80 ms WAN link like a 2 ms LAN link
+    and burns wide-area bandwidth relaying what a cluster already shares.
+    A hierarchical plan — every replica gossips within its cluster, one
+    designated bridge per cluster crosses the WAN — carries the same
+    updates with a fraction of the wide-area traffic.  The table splits
+    traffic by link class and reports cross-cluster visibility to show the
+    freshness price (one extra relay hop). *)
+
+val run : ?quick:bool -> unit -> string

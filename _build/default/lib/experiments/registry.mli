@@ -1,0 +1,14 @@
+(** The experiment registry: every table/figure reproduction, indexed by the
+    ids used in DESIGN.md and EXPERIMENTS.md. *)
+
+type entry = {
+  id : string;  (** e.g. "E3" *)
+  name : string;  (** the bench-target name, e.g. "airline" *)
+  paper_artifact : string;  (** which paper artifact it regenerates *)
+  run : ?quick:bool -> unit -> string;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Lookup by id (case-insensitive) or name. *)

@@ -1,0 +1,1 @@
+lib/models/cluster.ml: List Printf Session Tact_core Tact_replica

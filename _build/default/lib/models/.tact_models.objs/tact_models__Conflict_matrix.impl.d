@@ -1,0 +1,1 @@
+lib/models/conflict_matrix.ml: Array Bounds Conit List Printf Tact_core Tact_replica Tact_store Write

@@ -1,0 +1,1 @@
+lib/models/conflict_matrix.mli: Tact_core Tact_replica Tact_store

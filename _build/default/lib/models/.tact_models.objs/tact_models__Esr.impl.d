@@ -1,0 +1,1 @@
+lib/models/esr.ml: Db List Op Session Tact_core Tact_replica Tact_store Value

@@ -1,0 +1,1 @@
+lib/models/esr.mli: Tact_core Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/models/lazy_replication.ml: Session Tact_core Tact_replica

@@ -1,0 +1,1 @@
+lib/models/lazy_replication.mli: Tact_core Tact_replica Tact_store

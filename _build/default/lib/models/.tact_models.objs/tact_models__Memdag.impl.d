@@ -1,0 +1,1 @@
+lib/models/memdag.ml: Array Bounds Hashtbl List Printf Session Tact_core Tact_replica Tact_store Write

@@ -1,0 +1,1 @@
+lib/models/n_ignorant.ml: List Replica Session System Tact_core Tact_replica Tact_store Wlog Write

@@ -1,0 +1,1 @@
+lib/models/n_ignorant.mli: Tact_core Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/models/quasi_copy.ml: Db Op Session Tact_replica Tact_store

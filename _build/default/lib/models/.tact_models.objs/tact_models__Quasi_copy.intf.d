@@ -1,0 +1,1 @@
+lib/models/quasi_copy.mli: Tact_replica Tact_store

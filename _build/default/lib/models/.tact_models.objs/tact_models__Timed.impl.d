@@ -1,0 +1,1 @@
+lib/models/timed.ml: Session Tact_replica

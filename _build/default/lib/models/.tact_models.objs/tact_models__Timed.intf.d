@@ -1,0 +1,1 @@
+lib/models/timed.mli: Tact_replica Tact_store

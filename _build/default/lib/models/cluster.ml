@@ -1,0 +1,15 @@
+open Tact_replica
+
+let cluster_conit c = Printf.sprintf "cluster.%d" c
+
+let conits ~clusters =
+  List.init clusters (fun c -> Tact_core.Conit.unconstrained (cluster_conit c))
+
+let strict_op ?(m = 0.0) session ~cluster ~op ~k =
+  Session.affect_conit session (cluster_conit cluster) ~nweight:1.0 ~oweight:1.0;
+  Session.dependon_conit session (cluster_conit cluster) ~ne:m ~oe:m ();
+  Session.write session op ~k
+
+let weak_op session ~cluster ~op ~k =
+  Session.affect_conit session (cluster_conit cluster) ~nweight:1.0 ~oweight:1.0;
+  Session.write session op ~k

@@ -1,0 +1,48 @@
+open Tact_store
+open Tact_core
+
+type t = bool array array
+
+let check m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Conflict_matrix: not square")
+    m;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if m.(i).(j) <> m.(j).(i) then invalid_arg "Conflict_matrix: not symmetric"
+    done
+  done
+
+let row_conit i = Printf.sprintf "cm.row.%d" i
+
+let conits m = List.init (Array.length m) (fun i -> Conit.unconstrained (row_conit i))
+
+let affects_of_method m j =
+  let n = Array.length m in
+  List.concat
+    (List.init n (fun i ->
+         if m.(i).(j) then
+           [ { Write.conit = row_conit i; nweight = 1.0; oweight = 1.0 } ]
+         else []))
+
+let deps_of_method ?(ne = 0.0) _m j =
+  (* Zero error means full 1SR behaviour for conflicting invocations, which
+     needs both dimensions pinned (Theorem 3's write condition); a finite
+     bound is the "bounded conflict" relaxation of the numerical dimension
+     only. *)
+  let oe = if ne = 0.0 then 0.0 else infinity in
+  [ (row_conit j, Bounds.make ~ne ~oe ()) ]
+
+let invoke ?ne session ~matrix ~method_ ~op ~k =
+  List.iter
+    (fun { Write.conit; nweight; oweight } ->
+      Tact_replica.Session.affect_conit session conit ~nweight ~oweight)
+    (affects_of_method matrix method_);
+  List.iter
+    (fun (c, (b : Bounds.t)) ->
+      Tact_replica.Session.dependon_conit session c ~ne:b.ne ~ne_rel:b.ne_rel
+        ~oe:b.oe ~st:b.st ())
+    (deps_of_method ?ne matrix method_);
+  Tact_replica.Session.write session op ~k

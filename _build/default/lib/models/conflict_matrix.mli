@@ -1,0 +1,42 @@
+(** Conflict-matrix concurrency control for abstract data types, expressed as
+    a conit instance (Section 4.2).
+
+    Row [i] of the matrix gets a conit [F_i].  Invoking method [j] affects
+    [F_i] (unit numerical weight) iff entry [(i, j)] is a conflict entry, and
+    depends on its own row conit [F_j] with zero numerical error.  Two
+    non-conflicting invocations then proceed in parallel, while conflicting
+    ones are processed in a manner equivalent to 1SR.
+
+    Requiring a {e finite} instead of zero error yields the paper's "bounded
+    conflict" semantics that a plain matrix cannot express (e.g. a
+    [getBalance] allowed to miss at most $50 of deposits). *)
+
+type t = bool array array
+(** [t.(i).(j)]: do methods [i] and [j] conflict?  Must be square and
+    symmetric. *)
+
+val check : t -> unit
+(** Raises [Invalid_argument] if not square/symmetric. *)
+
+val row_conit : int -> string
+
+val conits : t -> Tact_core.Conit.t list
+(** One unconstrained conit declaration per row. *)
+
+val affects_of_method : t -> int -> Tact_store.Write.weight list
+(** The weight specification of an invocation of method [j]. *)
+
+val deps_of_method :
+  ?ne:float -> t -> int -> (string * Tact_core.Bounds.t) list
+(** The dependency of method [j]: its own row conit at zero numerical {e and}
+    order error (the 1SR-equivalent behaviour of Theorem 3 needs both), or at
+    the given finite numerical error for bounded conflict. *)
+
+val invoke :
+  ?ne:float ->
+  Tact_replica.Session.t ->
+  matrix:t ->
+  method_:int ->
+  op:Tact_store.Op.t ->
+  k:(Tact_store.Op.outcome -> unit) ->
+  unit

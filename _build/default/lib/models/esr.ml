@@ -1,0 +1,22 @@
+open Tact_store
+open Tact_replica
+
+let item_conit item = "esr." ^ item
+
+let conits ~items ~epsilon =
+  List.map (fun i -> Tact_core.Conit.declare ~ne_bound:epsilon (item_conit i)) items
+
+let update session ~item ~delta ~k =
+  Session.affect_conit session (item_conit item) ~nweight:delta ~oweight:1.0;
+  Session.write session (Op.Add (item, delta)) ~k
+
+let epsilon_query session ~items ~epsilon ~k =
+  List.iter
+    (fun i -> Session.dependon_conit session (item_conit i) ~ne:epsilon ())
+    items;
+  Session.read session
+    (fun db -> Value.List (List.map (fun i -> Value.Float (Db.get_float db i)) items))
+    ~k:(fun v ->
+      match v with
+      | Value.List vs -> k (List.map Value.to_float vs)
+      | _ -> k [])

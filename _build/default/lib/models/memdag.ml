@@ -1,0 +1,67 @@
+open Tact_store
+open Tact_core
+open Tact_replica
+
+type dag = { nodes : int; edges : (int * int) list }
+
+let check d =
+  List.iter
+    (fun (a, b) ->
+      if a = b then invalid_arg "Memdag: self edge";
+      if a < 0 || b < 0 || a >= d.nodes || b >= d.nodes then
+        invalid_arg "Memdag: node out of range")
+    d.edges;
+  (* Cycle check by repeated removal of in-degree-0 nodes. *)
+  let indeg = Array.make d.nodes 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) d.edges;
+  let removed = Array.make d.nodes false in
+  let progress = ref true in
+  let remaining = ref d.nodes in
+  while !progress do
+    progress := false;
+    for v = 0 to d.nodes - 1 do
+      if (not removed.(v)) && indeg.(v) = 0 then begin
+        removed.(v) <- true;
+        decr remaining;
+        progress := true;
+        List.iter (fun (a, b) -> if a = v then indeg.(b) <- indeg.(b) - 1) d.edges
+      end
+    done
+  done;
+  if !remaining > 0 then invalid_arg "Memdag: cyclic"
+
+let edge_conit a b = Printf.sprintf "dag.%d.%d" a b
+
+let affects_of_node d v =
+  List.filter_map
+    (fun (a, b) ->
+      if a = v then Some { Write.conit = edge_conit a b; nweight = 1.0; oweight = 1.0 }
+      else None)
+    d.edges
+
+let deps_of_node d v =
+  List.filter_map
+    (fun (a, b) ->
+      if b = v then Some (edge_conit a b, Bounds.make ~ne:0.0 ()) else None)
+    d.edges
+
+let submit session ~dag ~node ~op ~k =
+  List.iter
+    (fun { Write.conit; nweight; oweight } ->
+      Session.affect_conit session conit ~nweight ~oweight)
+    (affects_of_node dag node);
+  List.iter
+    (fun (c, (b : Bounds.t)) ->
+      Session.dependon_conit session c ~ne:b.ne ~oe:b.oe ())
+    (deps_of_node dag node);
+  Session.write session op ~k
+
+let execution_respects_dag d ~accept_order =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) accept_order;
+  List.for_all
+    (fun (a, b) ->
+      match (Hashtbl.find_opt pos a, Hashtbl.find_opt pos b) with
+      | Some pa, Some pb -> pa < pb
+      | _ -> false)
+    d.edges

@@ -1,0 +1,23 @@
+open Tact_store
+open Tact_replica
+
+let conit_name = "txn.count"
+
+let conits ~n_bound = [ Tact_core.Conit.declare ~ne_bound:n_bound conit_name ]
+
+let transaction session ~op ~k =
+  Session.affect_conit session conit_name ~nweight:1.0 ~oweight:1.0;
+  Session.write session op ~k
+
+let ignorance sys ~replica =
+  let local = Wlog.conit_value (Replica.log (System.replica sys replica)) conit_name in
+  (* Count only returned transactions: a write is in the reference history
+     once it returns to its client. *)
+  let returned =
+    List.filter
+      (fun (w : Write.t) ->
+        Write.affects_conit w conit_name
+        && System.return_time sys w.id <= System.now sys)
+      (System.all_writes sys)
+  in
+  float_of_int (List.length returned) -. local

@@ -1,0 +1,26 @@
+(** N-ignorant systems (Krishnakumar & Bernstein 1994) as a conit instance
+    (Section 4.2): a transaction may run in parallel with at most N other
+    transactions it is ignorant of.
+
+    One conit counts all transactions (every transaction affects it with unit
+    numerical weight); bounding its numerical error within N yields exactly
+    N-ignorance — a replica accepting a transaction can be missing at most N
+    concurrent ones. *)
+
+val conit_name : string
+
+val conits : n_bound:float -> Tact_core.Conit.t list
+(** Declare the counting conit with [ne_bound = n_bound], so the proactive
+    push protocol maintains system-wide N-ignorance. *)
+
+val transaction :
+  Tact_replica.Session.t ->
+  op:Tact_store.Op.t ->
+  k:(Tact_store.Op.outcome -> unit) ->
+  unit
+(** Run one transaction: affects the counting conit with unit weight. *)
+
+val ignorance : Tact_replica.System.t -> replica:int -> float
+(** How many globally accepted transactions this replica has not seen —
+    must never exceed N (plus the in-flight allowance) when the conit is
+    declared with [ne_bound = N]. *)

@@ -1,0 +1,47 @@
+open Tact_store
+open Tact_replica
+
+let update_conit key = "qc.upd." ^ key
+let value_conit key = "qc.val." ^ key
+
+let write_numeric session ~key ~delta ~k =
+  Session.affect_conit session (update_conit key) ~nweight:1.0 ~oweight:1.0;
+  Session.affect_conit session (value_conit key) ~nweight:delta ~oweight:1.0;
+  Session.write session (Op.Add (key, delta)) ~k
+
+let read_item session key ~k =
+  Session.read session (fun db -> Db.get db key) ~k
+
+let read_delay session ~key ~alpha ~k =
+  Session.dependon_conit session (update_conit key) ~st:alpha ();
+  read_item session key ~k
+
+let read_arithmetic session ~key ~epsilon ~k =
+  Session.dependon_conit session (value_conit key) ~ne:epsilon ();
+  read_item session key ~k
+
+let read_version session ~key ~versions ~k =
+  Session.dependon_conit session (update_conit key) ~ne:versions ();
+  read_item session key ~k
+
+module Object_condition = struct
+  let count_conit obj = "qc.obj." ^ obj ^ ".count"
+  let percent_conit obj = "qc.obj." ^ obj ^ ".percent"
+  let sub_conit obj sub = "qc.obj." ^ obj ^ ".sub." ^ sub
+
+  let modify session ~obj ~sub ~first_change ~op ~k =
+    if first_change then begin
+      Session.affect_conit session (count_conit obj) ~nweight:1.0 ~oweight:0.0;
+      Session.affect_conit session (percent_conit obj) ~nweight:1.0 ~oweight:0.0
+    end;
+    Session.affect_conit session (sub_conit obj sub) ~nweight:1.0 ~oweight:0.0;
+    Session.write session op ~k
+
+  let read session ~obj ~k_subs ~p_percent ~watch_sub ~f ~k =
+    Session.dependon_conit session (count_conit obj) ~ne:k_subs ();
+    Session.dependon_conit session (percent_conit obj) ~ne_rel:p_percent ();
+    (match watch_sub with
+    | Some sub -> Session.dependon_conit session (sub_conit obj sub) ~ne:0.0 ()
+    | None -> ());
+    Session.read session f ~k
+end

@@ -1,0 +1,65 @@
+(** Quasi-copy caching coherency conditions (Alonso et al. 1990;
+    Gallersdörfer & Nicola 1995) as conit instances (Section 4.2).
+
+    Each condition becomes a dependency vector on a suitably defined conit:
+
+    - {b delay condition} (propagation delay of item [x] at most [alpha]) —
+      staleness [alpha] on the item's update conit;
+    - {b frequency condition} (copies synchronised every [w] seconds) — also
+      staleness, which the paper notes is usually the more efficient
+      rendering;
+    - {b arithmetic condition} (numeric copies within [epsilon]) — absolute
+      numerical error on a conit whose weights are the written deltas;
+    - {b version condition} (at most [v] versions behind) — absolute
+      numerical error on a conit counting updates (unit weights);
+    - {b object condition} (sync object [o] when (i) at least [k]
+      sub-objects changed, (ii) at least [p]% of sub-objects changed, or
+      (iii) sub-object [x] changed) — three conits per object: a modified-
+      sub-object counter bounded absolutely by [k], the same counter bounded
+      relatively by [p] (relative to the object's sub-object population,
+      declared as the conit's initial value), and a per-sub-object update
+      counter bounded by zero. *)
+
+val update_conit : string -> string
+(** Update-count conit of a data item (version/delay/frequency conditions). *)
+
+val value_conit : string -> string
+(** Value-delta conit of a numeric item (arithmetic condition). *)
+
+val write_numeric :
+  Tact_replica.Session.t -> key:string -> delta:float ->
+  k:(Tact_store.Op.outcome -> unit) -> unit
+(** Update a numeric item; affects both its update conit (weight 1) and its
+    value conit (weight [delta]). *)
+
+val read_delay :
+  Tact_replica.Session.t -> key:string -> alpha:float ->
+  k:(Tact_store.Value.t -> unit) -> unit
+
+val read_arithmetic :
+  Tact_replica.Session.t -> key:string -> epsilon:float ->
+  k:(Tact_store.Value.t -> unit) -> unit
+
+val read_version :
+  Tact_replica.Session.t -> key:string -> versions:float ->
+  k:(Tact_store.Value.t -> unit) -> unit
+
+(** Object condition over an object with named sub-objects. *)
+module Object_condition : sig
+  val count_conit : string -> string
+  val percent_conit : string -> string
+  val sub_conit : string -> string -> string
+
+  val modify :
+    Tact_replica.Session.t -> obj:string -> sub:string -> first_change:bool ->
+    op:Tact_store.Op.t -> k:(Tact_store.Op.outcome -> unit) -> unit
+  (** [first_change] marks the first modification of this sub-object since
+      the last synchronisation (only those advance the modified-sub-object
+      counters). *)
+
+  val read :
+    Tact_replica.Session.t -> obj:string -> k_subs:float -> p_percent:float ->
+    watch_sub:string option ->
+    f:(Tact_store.Db.t -> Tact_store.Value.t) -> k:(Tact_store.Value.t -> unit) ->
+    unit
+end

@@ -1,0 +1,11 @@
+open Tact_replica
+
+let conit_name = "timed.clock"
+
+let write session ~op ~k =
+  Session.affect_conit session conit_name ~nweight:1.0 ~oweight:0.0;
+  Session.write session op ~k
+
+let read session ~delta ~f ~k =
+  Session.dependon_conit session conit_name ~st:delta ();
+  Session.read session f ~k

@@ -1,0 +1,1 @@
+lib/protocols/budget.ml: Array

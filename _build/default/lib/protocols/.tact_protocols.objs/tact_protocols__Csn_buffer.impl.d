@@ -1,0 +1,1 @@
+lib/protocols/csn_buffer.ml: List Tact_store Tact_util Vec

@@ -1,0 +1,1 @@
+lib/protocols/csn_buffer.mli: Tact_store

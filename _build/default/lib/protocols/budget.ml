@@ -1,0 +1,21 @@
+type policy = Even | Proportional of float array | Adaptive
+
+let proportional_share ~bound ~n ~self ~receiver rates =
+  let total = ref 0.0 in
+  Array.iteri (fun j r -> if j <> receiver then total := !total +. r) rates;
+  if !total <= 0.0 then bound /. float_of_int (n - 1)
+  else bound *. rates.(self) /. !total
+
+let share policy ~bound ~n ~self ~receiver ~rates =
+  assert (n > 1 && self <> receiver);
+  if bound = infinity then infinity
+  else
+    match policy with
+    | Even -> bound /. float_of_int (n - 1)
+    | Proportional static -> proportional_share ~bound ~n ~self ~receiver static
+    | Adaptive -> proportional_share ~bound ~n ~self ~receiver rates
+
+let policy_name = function
+  | Even -> "even"
+  | Proportional _ -> "proportional"
+  | Adaptive -> "adaptive"

@@ -1,0 +1,45 @@
+open Tact_util
+
+type t = {
+  order : Tact_store.Write.id Vec.t;
+  mutable pending : (int * Tact_store.Write.id list) list; (* (start, slice) *)
+}
+
+let create () = { order = Vec.create (); pending = [] }
+
+let known t = Vec.length t.order
+
+let append t id = Vec.push t.order id
+
+(* Apply a slice that starts at or before the known prefix end: skip the
+   overlap (which must agree), append the tail. *)
+let apply t start ids =
+  List.iteri
+    (fun i id ->
+      let pos = start + i in
+      if pos < Vec.length t.order then assert (Vec.get t.order pos = id)
+      else Vec.push t.order id)
+    ids
+
+let rec drain t =
+  let len = Vec.length t.order in
+  let applicable, rest =
+    List.partition (fun (start, _) -> start <= len) t.pending
+  in
+  t.pending <- rest;
+  match applicable with
+  | [] -> ()
+  | _ ->
+    List.iter (fun (start, ids) -> apply t start ids) applicable;
+    if Vec.length t.order > len then drain t
+
+let offer t ~start ids =
+  if ids <> [] then begin
+    if start <= Vec.length t.order then apply t start ids
+    else t.pending <- (start, ids) :: t.pending;
+    drain t
+  end
+
+let slice_from t pos = Vec.sub_list t.order ~pos
+
+let get t i = Vec.get t.order i

@@ -1,0 +1,1 @@
+lib/replica/config.ml: List Printf String Tact_core Tact_protocols Tact_store Tact_util

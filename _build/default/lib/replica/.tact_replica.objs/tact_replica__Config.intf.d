@@ -1,0 +1,1 @@
+lib/replica/config.mli: Tact_core Tact_protocols Tact_store Tact_util

@@ -1,0 +1,1 @@
+lib/replica/monitor.ml: Array List Replica System Tact_sim Tact_store

@@ -1,0 +1,1 @@
+lib/replica/monitor.mli: System

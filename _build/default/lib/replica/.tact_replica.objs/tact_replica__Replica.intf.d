@@ -1,0 +1,1 @@
+lib/replica/replica.mli: Config Tact_core Tact_sim Tact_store

@@ -1,0 +1,1 @@
+lib/replica/session.ml: List Option Replica Tact_core Tact_store Version_vector Wlog Write

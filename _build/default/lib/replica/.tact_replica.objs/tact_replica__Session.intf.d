@@ -1,0 +1,1 @@
+lib/replica/session.mli: Replica Tact_store

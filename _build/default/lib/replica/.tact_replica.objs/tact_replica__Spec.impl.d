@@ -1,0 +1,1 @@
+lib/replica/spec.ml: Bounds Db List Op Session Tact_core Tact_store Value

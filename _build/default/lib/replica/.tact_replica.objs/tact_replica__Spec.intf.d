@@ -1,0 +1,1 @@
+lib/replica/spec.mli: Session Tact_core Tact_store

@@ -1,0 +1,1 @@
+lib/replica/system.ml: Array Config Db Engine Hashtbl List Net Option Prng Replica Tact_core Tact_sim Tact_store Tact_util Topology Version_vector Write

@@ -1,0 +1,1 @@
+lib/replica/system.mli: Config Replica Tact_core Tact_sim Tact_store

@@ -1,0 +1,1 @@
+lib/replica/verify.ml: Access Bounds Buffer Config Conit Ecg Float List Metrics Printf System Tact_core Tact_store Version_vector Write

@@ -1,0 +1,1 @@
+lib/replica/verify.mli: System Tact_core

@@ -1,0 +1,58 @@
+type commit_scheme = Stability | Primary of int
+
+type t = {
+  conits : Tact_core.Conit.t list;
+  commit_scheme : commit_scheme;
+  budget_policy : Tact_protocols.Budget.policy;
+  antientropy_period : float option;
+  retry_period : float;
+  truncate_keep : int option;
+  initial_db : (string * Tact_store.Value.t) list;
+  trace : Tact_util.Trace.t option;
+  gossip_plan : (int -> int array) option;
+}
+
+let default =
+  {
+    conits = [];
+    commit_scheme = Stability;
+    budget_policy = Tact_protocols.Budget.Even;
+    antientropy_period = None;
+    retry_period = 1.0;
+    truncate_keep = None;
+    initial_db = [];
+    trace = None;
+    gossip_plan = None;
+  }
+
+let conit t name =
+  match List.find_opt (fun c -> String.equal c.Tact_core.Conit.name name) t.conits with
+  | Some c -> c
+  | None -> Tact_core.Conit.unconstrained name
+
+let validate ~n t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if n <= 0 then err "system size must be positive (got %d)" n
+  else
+    match t.commit_scheme with
+    | Primary p when p < 0 || p >= n ->
+      err "primary %d is not a replica id (n = %d)" p n
+    | Primary _ | Stability -> (
+      match t.antientropy_period with
+      | Some p when p <= 0.0 -> err "anti-entropy period must be positive"
+      | _ ->
+        if t.retry_period <= 0.0 then err "retry period must be positive"
+        else if (match t.truncate_keep with Some k -> k < 0 | None -> false)
+        then err "truncate_keep must be non-negative"
+        else begin
+          let names = List.map (fun c -> c.Tact_core.Conit.name) t.conits in
+          if List.length (List.sort_uniq String.compare names) <> List.length names
+          then err "duplicate conit declarations"
+          else if
+            List.exists
+              (fun (c : Tact_core.Conit.t) ->
+                c.ne_bound < 0.0 || c.ne_rel_bound < 0.0)
+              t.conits
+          then err "conit bounds must be non-negative"
+          else Ok ()
+        end)

@@ -1,0 +1,56 @@
+(** Per-system configuration for a set of TACT replicas. *)
+
+type commit_scheme =
+  | Stability
+      (** Writes commit in canonical timestamp order once every origin's
+          cover time has passed them.  The committed order is compatible with
+          external and causal order, so order-error bounds hold with respect
+          to the canonical ECG history (the property Theorems 2/3 need). *)
+  | Primary of int
+      (** The given replica assigns commit sequence numbers in arrival order
+          (Bayou-style).  Commit progress needs only the primary, not every
+          origin — faster under partitions that spare the primary — but the
+          committed order is not in general compatible with external order
+          (1SR, not 1SR+EXT).  Ablation E12 compares the two. *)
+
+type t = {
+  conits : Tact_core.Conit.t list;
+      (** declared conits; any conit not listed is treated as unconstrained *)
+  commit_scheme : commit_scheme;
+  budget_policy : Tact_protocols.Budget.policy;
+  antientropy_period : float option;
+      (** background gossip period (seconds); [None] disables gossip so that
+          only the compulsory protocol traffic remains — the configuration
+          the overhead experiments measure *)
+  retry_period : float;
+      (** how often a blocked access re-issues its synchronisation requests
+          (covers message loss under partitions) *)
+  truncate_keep : int option;
+      (** retain at most this many committed writes in the log, discarding
+          the oldest after each commitment step; peers that fall behind the
+          truncation point are brought up to date with a full-state snapshot
+          instead of a write-by-write diff.  [None] retains everything. *)
+  initial_db : (string * Tact_store.Value.t) list;
+  trace : Tact_util.Trace.t option;
+      (** when set, replicas record their protocol lifecycle events (accepts,
+          transfers, commits, blocked/served accesses, snapshots) into this
+          shared trace — an observability hook for debugging and the CLI *)
+  gossip_plan : (int -> int array) option;
+      (** per-replica gossip target ring, cycled one target per gossip tick;
+          [None] means round-robin over every peer.  Topology-aware plans
+          (e.g. mostly-LAN gossip with designated WAN bridges) cut wide-area
+          traffic — experiment E21. *)
+}
+
+val default : t
+(** Stability commitment, even budgets, no gossip, 1 s retry, empty db, no
+    declared conits. *)
+
+val conit : t -> string -> Tact_core.Conit.t
+(** The declaration for a conit name (unconstrained if undeclared). *)
+
+val validate : n:int -> t -> (unit, string) result
+(** Sanity-check a configuration against the system size: the primary id
+    must name a replica, periods must be positive, retention non-negative,
+    conit names unique and bounds non-negative.  {!System.create} runs this
+    and raises [Invalid_argument] on [Error]. *)

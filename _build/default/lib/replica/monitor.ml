@@ -1,0 +1,38 @@
+type sample = {
+  time : float;
+  committed : int array;
+  known : int array;
+  pending : int array;
+  messages : int;
+  bytes : int;
+}
+
+type t = { mutable samples : sample list (* newest first *) }
+
+let take sys =
+  let n = System.size sys in
+  let traffic = System.traffic sys in
+  {
+    time = System.now sys;
+    committed =
+      Array.init n (fun i ->
+          Tact_store.Wlog.committed_count (Replica.log (System.replica sys i)));
+    known =
+      Array.init n (fun i ->
+          Tact_store.Wlog.num_known (Replica.log (System.replica sys i)));
+    pending = Array.init n (fun i -> Replica.pending_count (System.replica sys i));
+    messages = traffic.Tact_sim.Net.messages;
+    bytes = traffic.Tact_sim.Net.bytes;
+  }
+
+let start sys ~period ~until =
+  let t = { samples = [] } in
+  let engine = System.engine sys in
+  Tact_sim.Engine.every engine ~period (fun () ->
+      t.samples <- take sys :: t.samples;
+      Tact_sim.Engine.now engine < until);
+  t
+
+let samples t = List.rev t.samples
+
+let series t ~f = List.map (fun s -> (s.time, f s)) (samples t)

@@ -1,0 +1,23 @@
+(** Periodic system sampling: time series of the quantities the experiments
+    plot (commit progress, knowledge, traffic, parked accesses).
+
+    Start a monitor before [System.run]; it samples on the virtual clock and
+    the collected series can be rendered with {!Tact_util.Plot}. *)
+
+type sample = {
+  time : float;
+  committed : int array;  (** per replica: committed write count *)
+  known : int array;  (** per replica: known write count *)
+  pending : int array;  (** per replica: parked accesses *)
+  messages : int;  (** cumulative network messages *)
+  bytes : int;
+}
+
+type t
+
+val start : System.t -> period:float -> until:float -> t
+val samples : t -> sample list
+(** Chronological. *)
+
+val series : t -> f:(sample -> float) -> (float * float) list
+(** (time, f sample) pairs, ready for {!Tact_util.Plot.series}. *)

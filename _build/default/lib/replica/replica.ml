@@ -1,0 +1,923 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_protocols
+
+type msg =
+  | Transfer of {
+      from : int;
+      writes : Write.t list;
+      vector : Version_vector.t;  (** sender's full vector at send time *)
+      cover : float array;  (** sender's per-origin cover times *)
+      csn_start : int;
+      csn : Write.id list;
+      rate : float;  (** sender's write-rate estimate, for adaptive budgets *)
+      kind : [ `Push | `Pull_reply of int | `Gossip ];
+    }
+  | Snapshot of {
+      from : int;
+      snap : Wlog.snapshot;
+      writes : Write.t list;  (** retained writes past the snapshot *)
+      vector : Version_vector.t;
+      cover : float array;
+      rate : float;
+      round : int;  (** 0 when not a pull-round reply *)
+    }
+  | Pull_req of { from : int; vector : Version_vector.t; csn_known : int; round : int }
+  | Ack of { from : int; vector : Version_vector.t; csn_known : int }
+
+type round_state = { mutable remaining : int; started : float }
+
+type pending = {
+  p_submit : float;
+  p_deps : (string * Bounds.t) list;
+  p_require : Version_vector.t option;
+      (** serve only once the log covers this vector (session guarantees) *)
+  p_on_timeout : (unit -> unit) option;
+  p_kind : pkind;
+  mutable p_round : int option;  (** id of an in-flight NE pull round *)
+  mutable p_round_done : bool;
+  mutable p_needs_round : bool;
+      (** a complete pull round is required: NE tighter than the declared
+          bound, or staleness too tight for targeted pulls *)
+  mutable p_st_tries : int;
+}
+
+and pkind =
+  | Pread of (Db.t -> Value.t) * (Value.t -> unit)
+  | Pwrite of Op.t * Write.weight list * (Op.outcome -> unit)
+
+(* A write accepted but not yet returned to its client — because the NE
+   budget demands that some peers acknowledge older writes first, or because
+   a zero order-error dependency makes the write commit-synchronous: the
+   paper defines a write's actual result as its return value when finally
+   committed, so a strong write may only return the committed outcome. *)
+type unreturned = {
+  u_write : Write.t;
+  u_outcome : Op.outcome;  (* tentative outcome at acceptance *)
+  u_wait_commit : bool;
+  u_record : float -> Op.outcome -> Access.t;
+  u_k : Op.outcome -> unit;
+}
+
+type stats = {
+  pushes_budget : int;
+  pulls_ne : int;
+  pulls_oe : int;
+  pulls_st : int;
+  gossips : int;
+  blocked_accesses : int;
+  snapshots_sent : int;
+  snapshots_installed : int;
+  timeouts : int;
+}
+
+type t = {
+  rid : int;
+  n : int;
+  net : Net.t;
+  engine : Engine.t;
+  cfg : Config.t;
+  wlog : Wlog.t;
+  cover : float array;  (** cover.(o): all writes from origin [o] with accept
+                            time <= cover.(o) are known here *)
+  acked : Version_vector.t array;  (** acked.(j): writes confirmed present at j *)
+  acked_csn : int array;
+  outstanding : (string, float) Hashtbl.t array;
+      (** per peer: conit -> |nweight| of own accepted writes not yet
+          confirmed at that peer *)
+  sub_ptr : int array;  (** per peer: own seq up to which outstanding has been
+                            released *)
+  own_writes : Write.t Vec.t;
+  csn : Csn_buffer.t;
+  mutable csn_committed : int;
+  mutable in_csn : (Write.id, unit) Hashtbl.t;  (** primary only *)
+  mutable rate_ewma : float;
+  mutable last_rate_update : float;
+  rates : float array;
+  mutable pending : pending list;  (** oldest first *)
+  mutable return_queue : unreturned list;  (** oldest first *)
+  conit_decls : (string, Conit.t) Hashtbl.t;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable round_ctr : int;
+  mutable peers : int -> t;
+  mutable up : bool;
+  mutable crashes : int;
+  on_accept : (Write.t -> Version_vector.t -> unit) option;
+  mutable records : Access.t list;
+  mutable retry_running : bool;
+  (* stats *)
+  mutable s_pushes_budget : int;
+  mutable s_pulls_ne : int;
+  mutable s_pulls_oe : int;
+  mutable s_pulls_st : int;
+  mutable s_gossips : int;
+  mutable s_blocked : int;
+  mutable s_snapshots_sent : int;
+  mutable s_snapshots_installed : int;
+  mutable s_timeouts : int;
+}
+
+let create ~id ~n ~net ~config ?on_accept () =
+  {
+    rid = id;
+    n;
+    net;
+    engine = Net.engine net;
+    cfg = config;
+    wlog = Wlog.create ~replicas:n ~initial:config.Config.initial_db;
+    cover = Array.make n 0.0;
+    acked = Array.init n (fun _ -> Version_vector.create n);
+    acked_csn = Array.make n 0;
+    outstanding = Array.init n (fun _ -> Hashtbl.create 8);
+    sub_ptr = Array.make n 0;
+    own_writes = Vec.create ();
+    csn = Csn_buffer.create ();
+    csn_committed = 0;
+    in_csn = Hashtbl.create 64;
+    rate_ewma = 0.0;
+    last_rate_update = 0.0;
+    rates = Array.make n 0.0;
+    pending = [];
+    return_queue = [];
+    conit_decls =
+      (let tbl = Hashtbl.create (List.length config.Config.conits) in
+       List.iter (fun (c : Conit.t) -> Hashtbl.replace tbl c.name c) config.Config.conits;
+       tbl);
+    rounds = Hashtbl.create 8;
+    round_ctr = 0;
+    peers = (fun _ -> failwith "Replica: not connected");
+    up = true;
+    crashes = 0;
+    on_accept;
+    records = [];
+    retry_running = false;
+    s_pushes_budget = 0;
+    s_pulls_ne = 0;
+    s_pulls_oe = 0;
+    s_pulls_st = 0;
+    s_gossips = 0;
+    s_blocked = 0;
+    s_snapshots_sent = 0;
+    s_snapshots_installed = 0;
+    s_timeouts = 0;
+  }
+
+let trace t ~kind detail =
+  match t.cfg.Config.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.record tr ~time:(Engine.now t.engine)
+      ~source:(Printf.sprintf "replica %d" t.rid) ~kind detail
+
+let id t = t.rid
+let log t = t.wlog
+let db t = Wlog.db t.wlog
+let now t = Engine.now t.engine
+let connect t ~peers = t.peers <- peers
+let records t = t.records
+let pending_count t = List.length t.pending
+
+let bookkeeping_entries t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.outstanding
+
+let stats t =
+  {
+    pushes_budget = t.s_pushes_budget;
+    pulls_ne = t.s_pulls_ne;
+    pulls_oe = t.s_pulls_oe;
+    pulls_st = t.s_pulls_st;
+    gossips = t.s_gossips;
+    blocked_accesses = t.s_blocked;
+    snapshots_sent = t.s_snapshots_sent;
+    snapshots_installed = t.s_snapshots_installed;
+    timeouts = t.s_timeouts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wire helpers                                                        *)
+
+let msg_size n = function
+  | Transfer { writes; csn; _ } ->
+    (* writes + vector + cover + csn slice + headers *)
+    List.fold_left (fun acc w -> acc + Write.byte_size w) 0 writes
+    + (8 * n) + (8 * n) + (8 * List.length csn) + 32
+  | Snapshot { snap; writes; _ } ->
+    (* Snapshots are fully serialisable, so their wire size is exact. *)
+    String.length (Codec.snapshot_to_string snap)
+    + List.fold_left (fun acc w -> acc + Write.byte_size w) 0 writes
+    + (2 * 8 * n) + 64
+  | Pull_req _ -> (8 * n) + 16
+  | Ack _ -> (8 * n) + 16
+
+(* A crashed replica neither processes nor emits messages: its network
+   activity looks exactly like loss to its peers.  The write log itself is
+   durable (write-ahead semantics), so recovery resumes from the full log;
+   only execution state (parked accesses, open pull rounds) is volatile. *)
+let rec handle t msg = if t.up then process t msg
+
+and send t ~dst msg =
+  if t.up then
+    Net.send t.net ~src:t.rid ~dst ~size:(msg_size t.n msg) (fun () ->
+        handle (t.peers dst) msg)
+
+and my_cover t =
+  let c = Array.copy t.cover in
+  c.(t.rid) <- now t;
+  c
+
+and snapshot_msg t ~round =
+  t.s_snapshots_sent <- t.s_snapshots_sent + 1;
+  let snap = Wlog.snapshot t.wlog in
+  Snapshot
+    {
+      from = t.rid;
+      snap;
+      writes = Wlog.writes_since t.wlog snap.Wlog.snap_vector;
+      vector = Version_vector.copy (Wlog.vector t.wlog);
+      cover = my_cover t;
+      rate = t.rate_ewma;
+      round;
+    }
+
+and make_transfer t ~dst ~kind =
+  if not (Wlog.can_serve t.wlog t.acked.(dst)) then snapshot_msg t ~round:0
+  else
+    Transfer
+      {
+        from = t.rid;
+        writes = Wlog.writes_since t.wlog t.acked.(dst);
+        vector = Version_vector.copy (Wlog.vector t.wlog);
+        cover = my_cover t;
+        csn_start = t.acked_csn.(dst);
+        csn = Csn_buffer.slice_from t.csn t.acked_csn.(dst);
+        rate = t.rate_ewma;
+        kind;
+      }
+
+and transfer_reply t ~req_vector ~csn_known ~round =
+  if not (Wlog.can_serve t.wlog req_vector) then snapshot_msg t ~round
+  else
+    Transfer
+      {
+        from = t.rid;
+        writes = Wlog.writes_since t.wlog req_vector;
+        vector = Version_vector.copy (Wlog.vector t.wlog);
+        cover = my_cover t;
+        csn_start = csn_known;
+        csn = Csn_buffer.slice_from t.csn csn_known;
+        rate = t.rate_ewma;
+        kind = `Pull_reply round;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Budget bookkeeping                                                  *)
+
+and declared_bounds t conit_name =
+  match Hashtbl.find_opt t.conit_decls conit_name with
+  | Some c -> (c.Conit.ne_bound, c.Conit.ne_rel_bound, c.Conit.initial_value)
+  | None -> (infinity, infinity, 0.0)
+
+(* The absolute share of a receiver's NE budget this replica may consume for
+   a conit; relative bounds are converted with a conservative local estimate
+   of the conit's value. *)
+and share_for t ~receiver conit_name =
+  let ne_bound, ne_rel_bound, initial = declared_bounds t conit_name in
+  let abs_bound =
+    if ne_rel_bound = infinity then ne_bound
+    else begin
+      (* Conservative value estimate: the committed value minus everything
+         still in flight could be lower, but for the monotone workloads the
+         relative bound targets (counters, seat pools) the local full view is
+         the estimate the TACT prototype uses. *)
+      let v = Float.abs (initial +. Wlog.conit_value t.wlog conit_name) in
+      Float.min ne_bound (ne_rel_bound *. v)
+    end
+  in
+  if abs_bound = infinity then infinity
+  else
+    Budget.share t.cfg.Config.budget_policy ~bound:abs_bound ~n:t.n ~self:t.rid
+      ~receiver ~rates:t.rates
+
+and outstanding_for t ~peer conit_name =
+  match Hashtbl.find_opt t.outstanding.(peer) conit_name with
+  | Some v -> v
+  | None -> 0.0
+
+and add_outstanding t (w : Write.t) =
+  for j = 0 to t.n - 1 do
+    if j <> t.rid then
+      if Version_vector.covers t.acked.(j) ~origin:t.rid ~seq:w.id.seq then
+        (* Already confirmed (the write round-tripped before acceptance —
+           possible when it was pushed ahead of its return). *)
+        (if t.sub_ptr.(j) = w.id.seq - 1 then t.sub_ptr.(j) <- w.id.seq)
+      else
+        List.iter
+          (fun { Write.conit; nweight; _ } ->
+            let cur = outstanding_for t ~peer:j conit in
+            Hashtbl.replace t.outstanding.(j) conit (cur +. Float.abs nweight))
+          w.affects
+  done
+
+and release_outstanding t ~peer =
+  (* Advance sub_ptr.(peer) to what the peer now confirms, releasing budget. *)
+  let confirmed = Version_vector.get t.acked.(peer) t.rid in
+  let upto = min confirmed (Vec.length t.own_writes) in
+  while t.sub_ptr.(peer) < upto do
+    let w = Vec.get t.own_writes t.sub_ptr.(peer) in
+    t.sub_ptr.(peer) <- t.sub_ptr.(peer) + 1;
+    List.iter
+      (fun { Write.conit; nweight; _ } ->
+        let cur = outstanding_for t ~peer conit in
+        Hashtbl.replace t.outstanding.(peer) conit (cur -. Float.abs nweight))
+      w.affects
+  done
+
+(* Peers whose budget this replica currently exceeds for any conit the write
+   affects (empty = the write may return). *)
+and over_budget_peers t (w : Write.t) =
+  let result = ref [] in
+  for j = t.n - 1 downto 0 do
+    if j <> t.rid then
+      let over =
+        List.exists
+          (fun { Write.conit; nweight; _ } ->
+            nweight <> 0.0 && outstanding_for t ~peer:j conit > share_for t ~receiver:j conit)
+          w.affects
+      in
+      if over then result := j :: !result
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Commitment                                                          *)
+
+and commit_progress t =
+  (match t.cfg.Config.commit_scheme with
+  | Config.Stability ->
+    let n = Wlog.commit_stable t.wlog ~cover:(my_cover t) in
+    if n > 0 then trace t ~kind:"commit" (Printf.sprintf "%d writes (stability)" n)
+  | Config.Primary _ -> commit_progress_primary t);
+  match t.cfg.Config.truncate_keep with
+  | Some keep -> ignore (Wlog.truncate t.wlog ~keep)
+  | None -> ()
+
+and commit_progress_primary t =
+  match t.cfg.Config.commit_scheme with
+  | Config.Stability -> assert false
+  | Config.Primary p ->
+    if t.rid = p then primary_assign t;
+    (* Commit the known-csn prefix whose writes we hold. *)
+    let rec advance acc =
+      if
+        t.csn_committed + List.length acc < Csn_buffer.known t.csn
+        && Wlog.known t.wlog (Csn_buffer.get t.csn (t.csn_committed + List.length acc))
+      then advance (Csn_buffer.get t.csn (t.csn_committed + List.length acc) :: acc)
+      else List.rev acc
+    in
+    let ids = advance [] in
+    if ids <> [] then begin
+      ignore (Wlog.commit_ids t.wlog ids);
+      t.csn_committed <- t.csn_committed + List.length ids;
+      trace t ~kind:"commit" (Printf.sprintf "%d writes (csn)" (List.length ids))
+    end
+
+(* Primary: assign commit sequence numbers to every known-but-unassigned
+   write, in local arrival (timestamp) order. *)
+and primary_assign t =
+  List.iter
+    (fun (w : Write.t) ->
+      if not (Hashtbl.mem t.in_csn w.id) then begin
+        Hashtbl.replace t.in_csn w.id ();
+        Csn_buffer.append t.csn w.id
+      end)
+    (Wlog.tentative t.wlog)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+
+and staleness_estimate t =
+  if t.n = 1 then 0.0
+  else begin
+    let worst = ref 0.0 in
+    for j = 0 to t.n - 1 do
+      if j <> t.rid then worst := Float.max !worst (now t -. t.cover.(j))
+    done;
+    !worst
+  end
+
+(* Does a dep require a one-off pull round (NE tighter than the declared,
+   proactively maintained bound)? *)
+and needs_ne_round t (conit_name, (b : Bounds.t)) =
+  let ne_bound, ne_rel_bound, _ = declared_bounds t conit_name in
+  b.ne < ne_bound || b.ne_rel < ne_rel_bound
+
+and deps_satisfied t p =
+  let require_ok =
+    match p.p_require with
+    | None -> true
+    | Some v -> Version_vector.dominates (Wlog.vector t.wlog) v
+  in
+  require_ok
+  &&
+  let oe_ok =
+    List.for_all
+      (fun (c, (b : Bounds.t)) -> Wlog.tentative_oweight t.wlog c <= b.oe)
+      p.p_deps
+  in
+  (* A pull round completed after submission implies that every write
+     returned before submission has been observed — hence both numerical
+     error and staleness (measured at submission, per the model) are zero. *)
+  let st_ok =
+    p.p_round_done
+    ||
+    let est = staleness_estimate t in
+    List.for_all (fun (_, (b : Bounds.t)) -> est <= b.st) p.p_deps
+  in
+  let ne_ok = (not p.p_needs_round) || p.p_round_done in
+  oe_ok && st_ok && ne_ok
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+
+(* The observed prefix of an access is its origin's history when the access
+   is served but before the access itself applies — capture it first, then
+   finalise with times and result. *)
+and capture_observation t =
+  let vector = Version_vector.copy (Wlog.vector t.wlog) in
+  let tentative = List.map (fun (w : Write.t) -> w.id) (Wlog.tentative t.wlog) in
+  let local =
+    List.map (fun (w : Write.t) -> w.id) (Wlog.committed t.wlog) @ tentative
+  in
+  (vector, tentative, local)
+
+and access_record t ~kind ~obs:(vector, tentative, local) ~submit ~serve
+    ~return_t ~deps ~result =
+  {
+    Access.kind;
+    replica = t.rid;
+    submit_time = submit;
+    serve_time = serve;
+    return_time = return_t;
+    deps = List.map (fun (conit, bound) -> { Access.conit; bound }) deps;
+    observed_vector = vector;
+    observed_tentative = tentative;
+    observed_local = local;
+    observed_result = result;
+  }
+
+and serve_read t p f k =
+  let obs = capture_observation t in
+  let result = f (Wlog.db t.wlog) in
+  let nw = now t in
+  if nw > p.p_submit then
+    trace t ~kind:"served"
+      (Printf.sprintf "read after %.3fs wait" (nw -. p.p_submit));
+  t.records <-
+    access_record t ~kind:Access.Read ~obs ~submit:p.p_submit ~serve:nw
+      ~return_t:nw ~deps:p.p_deps ~result
+    :: t.records;
+  k result
+
+and serve_write t p op affects k =
+  let seq = Version_vector.get (Wlog.vector t.wlog) t.rid + 1 in
+  let w =
+    { Write.id = { origin = t.rid; seq }; accept_time = now t; op; affects }
+  in
+  let obs = capture_observation t in
+  let pre_vector = Version_vector.copy (Wlog.vector t.wlog) in
+  let outcome = Wlog.accept t.wlog w in
+  trace t ~kind:"accept" (Write.to_string w);
+  Vec.push t.own_writes w;
+  update_rate t;
+  add_outstanding t w;
+  (match t.on_accept with Some f -> f w pre_vector | None -> ());
+  (* Commitment may already be possible from local knowledge (the primary
+     commits its own writes; a single-replica system is trivially covered). *)
+  commit_progress t;
+  let serve = now t in
+  let record return_t returned_outcome =
+    access_record t ~kind:(Access.Write_access w.id) ~obs ~submit:p.p_submit
+      ~serve ~return_t ~deps:p.p_deps ~result:(Op.result returned_outcome)
+  in
+  (* A zero order-error dependency makes the write commit-synchronous. *)
+  let wait_commit =
+    List.exists (fun (_, (b : Bounds.t)) -> b.oe = 0.0) p.p_deps
+    && Wlog.final_outcome t.wlog w.id = None
+  in
+  let over = over_budget_peers t w in
+  if over = [] && not wait_commit then begin
+    t.records <- record serve outcome :: t.records;
+    k outcome
+  end
+  else begin
+    (* Push to the peers whose budget we exceed and return once acks bring us
+       back inside every share (and, for commit-synchronous writes, once the
+       write commits — driven by pulling covers from every peer). *)
+    List.iter
+      (fun j ->
+        t.s_pushes_budget <- t.s_pushes_budget + 1;
+        send t ~dst:j (make_transfer t ~dst:j ~kind:`Push))
+      over;
+    if wait_commit then
+      for j = 0 to t.n - 1 do
+        if j <> t.rid then send_pull t ~dst:j ~round:0
+      done;
+    t.return_queue <-
+      t.return_queue
+      @ [ { u_write = w; u_outcome = outcome; u_wait_commit = wait_commit;
+            u_record = record; u_k = k } ];
+    ensure_retry t
+  end
+
+and update_rate t =
+  (* EWMA of the local write rate (writes/s), for adaptive budget splits. *)
+  let nw = now t in
+  let dt = nw -. t.last_rate_update in
+  if dt > 0.0 then begin
+    let inst = 1.0 /. dt in
+    let alpha = Float.min 1.0 (dt /. 10.0) in
+    t.rate_ewma <- ((1.0 -. alpha) *. t.rate_ewma) +. (alpha *. inst);
+    t.last_rate_update <- nw
+  end
+  else t.rate_ewma <- t.rate_ewma +. 0.1;
+  t.rates.(t.rid) <- t.rate_ewma
+
+(* ------------------------------------------------------------------ *)
+(* Synchronisation triggers for a parked access                        *)
+
+and fresh_round t =
+  t.round_ctr <- t.round_ctr + 1;
+  let r = t.round_ctr in
+  Hashtbl.replace t.rounds r { remaining = t.n - 1; started = now t };
+  r
+
+and send_pull t ~dst ~round =
+  send t ~dst
+    (Pull_req
+       {
+         from = t.rid;
+         vector = Version_vector.copy (Wlog.vector t.wlog);
+         csn_known = Csn_buffer.known t.csn;
+         round;
+       })
+
+and trigger_syncs t p =
+  (* Session-guarantee vector requirement: pull from the origins we lag. *)
+  (match p.p_require with
+  | Some v when not (Version_vector.dominates (Wlog.vector t.wlog) v) ->
+    for j = 0 to t.n - 1 do
+      if
+        j <> t.rid
+        && Version_vector.get (Wlog.vector t.wlog) j < Version_vector.get v j
+      then send_pull t ~dst:j ~round:0
+    done
+  | Some _ | None -> ());
+  (* ST: pull from peers whose cover is too old; if targeted pulls have
+     already failed to get under the bound (it may be tighter than the
+     network's round-trip floor), escalate to a full round. *)
+  let st_bound =
+    List.fold_left (fun acc (_, (b : Bounds.t)) -> Float.min acc b.st) infinity p.p_deps
+  in
+  if (not p.p_round_done) && st_bound < infinity && staleness_estimate t > st_bound
+  then begin
+    p.p_st_tries <- p.p_st_tries + 1;
+    if p.p_st_tries >= 2 then p.p_needs_round <- true
+    else
+      for j = 0 to t.n - 1 do
+        if j <> t.rid && now t -. t.cover.(j) > st_bound then begin
+          t.s_pulls_st <- t.s_pulls_st + 1;
+          send_pull t ~dst:j ~round:0
+        end
+      done
+  end;
+  (* NE: a tighter-than-declared bound needs one complete pull round. *)
+  if p.p_needs_round && not p.p_round_done then begin
+    (* Drop rounds that have outlived the retry period (lost to partitions)
+       so the retry loop can start a fresh one. *)
+    (match p.p_round with
+    | Some r -> (
+      match Hashtbl.find_opt t.rounds r with
+      | Some st when now t -. st.started > 2.0 *. t.cfg.Config.retry_period ->
+        Hashtbl.remove t.rounds r
+      | Some _ | None -> ())
+    | None -> ());
+    match p.p_round with
+    | Some r when Hashtbl.mem t.rounds r -> () (* still in flight *)
+    | Some _ | None ->
+      let r = fresh_round t in
+      p.p_round <- Some r;
+      t.s_pulls_ne <- t.s_pulls_ne + 1;
+      if t.n = 1 then p.p_round_done <- true
+      else
+        for j = 0 to t.n - 1 do
+          if j <> t.rid then send_pull t ~dst:j ~round:r
+        done
+  end;
+  (* OE: drive commitment. *)
+  let oe_unmet =
+    List.exists
+      (fun (c, (b : Bounds.t)) -> Wlog.tentative_oweight t.wlog c > b.oe)
+      p.p_deps
+  in
+  if oe_unmet then begin
+    t.s_pulls_oe <- t.s_pulls_oe + 1;
+    match t.cfg.Config.commit_scheme with
+    | Config.Stability ->
+      for j = 0 to t.n - 1 do
+        if j <> t.rid then send_pull t ~dst:j ~round:0
+      done
+    | Config.Primary prim ->
+      if t.rid = prim then commit_progress t
+      else begin
+        send t ~dst:prim (make_transfer t ~dst:prim ~kind:`Push);
+        send_pull t ~dst:prim ~round:0
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The pump: re-evaluate parked work after any state change            *)
+
+and pump t =
+  (* Parked accesses (any order — self-determination keeps them independent).
+     Serving an access runs its continuation, which may submit — and park —
+     further accesses; work over a snapshot and merge what accumulated. *)
+  let snapshot = t.pending in
+  t.pending <- [];
+  let still_pending =
+    List.filter
+      (fun p ->
+        if deps_satisfied t p then begin
+          (match p.p_kind with
+          | Pread (f, k) -> serve_read t p f k
+          | Pwrite (op, affects, k) -> serve_write t p op affects k);
+          false
+        end
+        else true)
+      snapshot
+  in
+  t.pending <- still_pending @ t.pending;
+  (* Return queue: FIFO, release writes whose budget cleared (and, for
+     commit-synchronous ones, that have committed). *)
+  let rec drain () =
+    match t.return_queue with
+    | u :: rest when over_budget_peers t u.u_write = [] -> (
+      let final = Wlog.final_outcome t.wlog u.u_write.id in
+      match (u.u_wait_commit, final) with
+      | true, None -> ()
+      | false, _ | true, Some _ ->
+        let outcome =
+          match (u.u_wait_commit, final) with
+          | true, Some f -> f
+          | _ -> u.u_outcome
+        in
+        t.return_queue <- rest;
+        t.records <- u.u_record (now t) outcome :: t.records;
+        u.u_k outcome;
+        drain ())
+    | _ -> ()
+  in
+  drain ()
+
+and ensure_retry t =
+  if not t.retry_running then begin
+    t.retry_running <- true;
+    let rec tick () =
+      if t.pending = [] && t.return_queue = [] then t.retry_running <- false
+      else if not t.up then
+        (* Stay armed; resume after recovery. *)
+        Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+      else begin
+        commit_progress t;
+        List.iter (fun p -> trigger_syncs t p) t.pending;
+        (* Re-sync for stalled returns (covers loss under partitions). *)
+        List.iter
+          (fun u ->
+            List.iter
+              (fun j -> send t ~dst:j (make_transfer t ~dst:j ~kind:`Push))
+              (over_budget_peers t u.u_write);
+            if u.u_wait_commit && Wlog.final_outcome t.wlog u.u_write.id = None
+            then
+              for j = 0 to t.n - 1 do
+                if j <> t.rid then send_pull t ~dst:j ~round:0
+              done)
+          t.return_queue;
+        pump t;
+        Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+      end
+    in
+    Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message processing                                                  *)
+
+and note_peer_vector t ~peer vector =
+  Version_vector.merge_into t.acked.(peer) vector;
+  release_outstanding t ~peer
+
+and process t msg =
+  (match msg with
+  | Snapshot { from; snap; writes; vector; cover; rate; round } ->
+    if Wlog.install_snapshot t.wlog snap then begin
+      t.s_snapshots_installed <- t.s_snapshots_installed + 1;
+      trace t ~kind:"snapshot"
+        (Printf.sprintf "installed %d committed writes from replica %d"
+           snap.Wlog.snap_ncommitted from);
+      (* The committed prefix the snapshot represents counts as committed for
+         the primary scheme's pointer too. *)
+      t.csn_committed <- max t.csn_committed snap.Wlog.snap_ncommitted
+    end;
+    ignore (Wlog.insert_batch t.wlog writes);
+    Array.iteri (fun o c -> if c > t.cover.(o) then t.cover.(o) <- c) cover;
+    t.cover.(t.rid) <- now t;
+    t.rates.(from) <- rate;
+    note_peer_vector t ~peer:from vector;
+    commit_progress t;
+    if round > 0 then (
+      match Hashtbl.find_opt t.rounds round with
+      | Some st ->
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then begin
+          Hashtbl.remove t.rounds round;
+          List.iter
+            (fun p -> if p.p_round = Some round then p.p_round_done <- true)
+            t.pending
+        end
+      | None -> ())
+  | Pull_req { from; vector; csn_known; round } ->
+    note_peer_vector t ~peer:from vector;
+    t.acked_csn.(from) <- max t.acked_csn.(from) csn_known;
+    send t ~dst:from (transfer_reply t ~req_vector:vector ~csn_known ~round)
+  | Ack { from; vector; csn_known } ->
+    note_peer_vector t ~peer:from vector;
+    t.acked_csn.(from) <- max t.acked_csn.(from) csn_known
+  | Transfer { from; writes; vector; cover; csn_start; csn; rate; kind } ->
+    let fresh = Wlog.insert_batch t.wlog writes in
+    if fresh <> [] then
+      trace t ~kind:"transfer"
+        (Printf.sprintf "%d new writes from replica %d" (List.length fresh) from);
+    (* Cover merge is sound only after the writes are in the log. *)
+    Array.iteri (fun o c -> if c > t.cover.(o) then t.cover.(o) <- c) cover;
+    t.cover.(t.rid) <- now t;
+    t.rates.(from) <- rate;
+    Csn_buffer.offer t.csn ~start:csn_start csn;
+    note_peer_vector t ~peer:from vector;
+    t.acked_csn.(from) <- max t.acked_csn.(from) (csn_start + List.length csn);
+    (match t.cfg.Config.commit_scheme with
+    | Config.Primary p when p = t.rid ->
+      ignore fresh;
+      commit_progress t
+    | Config.Primary _ | Config.Stability -> commit_progress t);
+    (match kind with
+    | `Push ->
+      send t ~dst:from
+        (Ack
+           {
+             from = t.rid;
+             vector = Version_vector.copy (Wlog.vector t.wlog);
+             csn_known = Csn_buffer.known t.csn;
+           })
+    | `Pull_reply round ->
+      if round > 0 then (
+        match Hashtbl.find_opt t.rounds round with
+        | Some st ->
+          st.remaining <- st.remaining - 1;
+          if st.remaining <= 0 then begin
+            Hashtbl.remove t.rounds round;
+            List.iter
+              (fun p -> if p.p_round = Some round then p.p_round_done <- true)
+              t.pending
+          end
+        | None -> ())
+    | `Gossip -> ()));
+  pump t
+
+(* ------------------------------------------------------------------ *)
+(* Client entry points                                                 *)
+
+let admit t ?deadline p =
+  if not t.up then (
+    match p.p_on_timeout with Some f -> f () | None -> ())
+  else if deps_satisfied t p then
+    match p.p_kind with
+    | Pread (f, k) -> serve_read t p f k
+    | Pwrite (op, affects, k) -> serve_write t p op affects k
+  else begin
+    t.s_blocked <- t.s_blocked + 1;
+    trace t ~kind:"blocked"
+      (Printf.sprintf "%s with %d deps"
+         (match p.p_kind with Pread _ -> "read" | Pwrite _ -> "write")
+         (List.length p.p_deps));
+    t.pending <- t.pending @ [ p ];
+    trigger_syncs t p;
+    (* Triggering may have satisfied the access synchronously (e.g. a pull
+       round degenerates to nothing at n = 1). *)
+    pump t;
+    ensure_retry t;
+    (* A deadline bounds how long the client is willing to wait for its
+       consistency level — the availability side of the tradeoff.  If the
+       access is still parked when the deadline fires, it is abandoned. *)
+    match deadline with
+    | None -> ()
+    | Some d ->
+      Engine.schedule t.engine ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
+          if List.memq p t.pending then begin
+            t.pending <- List.filter (fun q -> not (q == p)) t.pending;
+            t.s_timeouts <- t.s_timeouts + 1;
+            match p.p_on_timeout with Some f -> f () | None -> ()
+          end)
+  end
+
+let submit_read ?require ?deadline ?on_timeout t ~deps ~f ~k =
+  let p =
+    {
+      p_submit = now t;
+      p_deps = deps;
+      p_require = require;
+      p_on_timeout = on_timeout;
+      p_kind = Pread (f, k);
+      p_round = None;
+      p_round_done = false;
+      p_needs_round = List.exists (needs_ne_round t) deps;
+      p_st_tries = 0;
+    }
+  in
+  admit t ?deadline p
+
+let submit_write ?require ?deadline ?on_timeout t ~deps ~affects ~op ~k =
+  let p =
+    {
+      p_submit = now t;
+      p_deps = deps;
+      p_require = require;
+      p_on_timeout = on_timeout;
+      p_kind = Pwrite (op, affects, k);
+      p_round = None;
+      p_round_done = false;
+      p_needs_round = List.exists (needs_ne_round t) deps;
+      p_st_tries = 0;
+    }
+  in
+  admit t ?deadline p
+
+(* Clients of a crashed replica fail fast: parked accesses are abandoned
+   (their timeout callbacks fire) and new submissions go straight to
+   [on_timeout]. *)
+let crash t =
+  if t.up then begin
+    trace t ~kind:"crash" "replica down";
+    t.up <- false;
+    t.crashes <- t.crashes + 1;
+    let parked = t.pending in
+    t.pending <- [];
+    Hashtbl.reset t.rounds;
+    List.iter
+      (fun p -> match p.p_on_timeout with Some f -> f () | None -> ())
+      parked
+  end
+
+let recover t =
+  if not t.up then begin
+    t.up <- true;
+    trace t ~kind:"recover" "replica up";
+    (* Proactively resynchronise with every peer. *)
+    for j = 0 to t.n - 1 do
+      if j <> t.rid then send_pull t ~dst:j ~round:0
+    done;
+    if t.return_queue <> [] then ensure_retry t
+  end
+
+let is_up t = t.up
+let crash_count t = t.crashes
+
+let start t =
+  match t.cfg.Config.antientropy_period with
+  | None -> ()
+  | Some period ->
+    if t.n > 1 then begin
+      let tick = ref 0 in
+      let ring =
+        match t.cfg.Config.gossip_plan with
+        | Some plan ->
+          let r = plan t.rid in
+          if Array.exists (fun j -> j < 0 || j >= t.n || j = t.rid) r then
+            invalid_arg "Replica.start: gossip plan targets out of range";
+          r
+        | None ->
+          (* Round-robin over every peer. *)
+          Array.init (t.n - 1) (fun k ->
+              let j = (t.rid + 1 + k) mod t.n in
+              if j = t.rid then (j + 1) mod t.n else j)
+      in
+      Engine.every t.engine ~period (fun () ->
+          (* Deterministic ring gossip (silent while crashed). *)
+          if t.up && Array.length ring > 0 then begin
+            let target = ring.(!tick mod Array.length ring) in
+            incr tick;
+            t.s_gossips <- t.s_gossips + 1;
+            send t ~dst:target (make_transfer t ~dst:target ~kind:`Push)
+          end;
+          true)
+    end

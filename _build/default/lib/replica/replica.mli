@@ -1,0 +1,123 @@
+(** A TACT replica node.
+
+    Each replica is a state machine driven by the discrete-event engine: it
+    accepts logical reads and writes from clients, enforces the per-access
+    (NE, OE, ST) bounds before serving them, and exchanges writes with peers
+    through anti-entropy transfers.  The enforcement mechanisms follow
+    Section 5 of the paper:
+
+    - {b Numerical error} is bounded proactively and sender-side.  A conit's
+      declared system-wide bound is split into per-writer shares
+      ({!Tact_protocols.Budget}); a write {e returns to its client} only once
+      the weight of this replica's unacknowledged writes fits every peer's
+      share — pushing writes (and awaiting acks) when it does not.  Reads
+      requesting a bound tighter than the declared one trigger a one-off pull
+      round from all peers.
+    - {b Order error} is bounded reactively: when an access requires a conit's
+      tentative (uncommitted) weight to be below its bound, the replica drives
+      the write-commitment protocol — advancing cover times via pulls under
+      {!Config.Stability}, or syncing with the primary under
+      {!Config.Primary} — and serves the access once the tentative suffix has
+      shrunk enough.
+    - {b Staleness} is bounded via per-origin cover times: serving an access
+      with staleness bound [t] requires every peer's cover to be within [t]
+      of now, pulling from the stale ones first.
+
+    All client entry points are asynchronous (continuation-passing): in the
+    simulation there are no threads to block, so a bound that cannot yet be
+    met parks the access and the continuation fires when it is served. *)
+
+type t
+
+type stats = {
+  pushes_budget : int;  (** transfers forced by the NE budget *)
+  pulls_ne : int;  (** pull rounds for tighter-than-declared NE *)
+  pulls_oe : int;  (** sync actions forced by OE bounds *)
+  pulls_st : int;  (** pulls forced by staleness bounds *)
+  gossips : int;
+  blocked_accesses : int;  (** accesses that could not be served immediately *)
+  snapshots_sent : int;  (** full-state transfers to peers behind the
+                             truncation point *)
+  snapshots_installed : int;
+  timeouts : int;  (** accesses abandoned at their deadline *)
+}
+
+val create :
+  id:int ->
+  n:int ->
+  net:Tact_sim.Net.t ->
+  config:Config.t ->
+  ?on_accept:(Tact_store.Write.t -> Tact_store.Version_vector.t -> unit) ->
+  unit ->
+  t
+(** [on_accept] fires whenever this replica accepts a locally originated
+    write, with a copy of the pre-acceptance version vector (the write's
+    causal context) — the hook the omniscient verifier uses. *)
+
+val id : t -> int
+val log : t -> Tact_store.Wlog.t
+val db : t -> Tact_store.Db.t
+val now : t -> float
+
+val connect : t -> peers:(int -> t) -> unit
+(** Wire up peer lookup (used to deliver messages).  Must be called on every
+    replica before any traffic flows; {!System.create} does this. *)
+
+val submit_read :
+  ?require:Tact_store.Version_vector.t ->
+  ?deadline:float ->
+  ?on_timeout:(unit -> unit) ->
+  t ->
+  deps:(string * Tact_core.Bounds.t) list ->
+  f:(Tact_store.Db.t -> Tact_store.Value.t) ->
+  k:(Tact_store.Value.t -> unit) ->
+  unit
+(** [require] additionally delays service until the replica's log covers the
+    given vector — the mechanism behind session guarantees (the replica pulls
+    from the origins it lags).  [deadline] (absolute virtual time) bounds how
+    long the access may stay parked on unmet bounds: if it fires first, the
+    access is abandoned and [on_timeout] (if any) is invoked instead of [k] —
+    the availability side of the consistency/availability tradeoff. *)
+
+val submit_write :
+  ?require:Tact_store.Version_vector.t ->
+  ?deadline:float ->
+  ?on_timeout:(unit -> unit) ->
+  t ->
+  deps:(string * Tact_core.Bounds.t) list ->
+  affects:Tact_store.Write.weight list ->
+  op:Tact_store.Op.t ->
+  k:(Tact_store.Op.outcome -> unit) ->
+  unit
+
+val records : t -> Tact_core.Access.t list
+(** Access records emitted so far (most recent first). *)
+
+val stats : t -> stats
+
+val start : t -> unit
+(** Begin background activity (gossip, retry loop).  Call once, after every
+    replica of the system has been created. *)
+
+val pending_count : t -> int
+(** Accesses currently parked on unmet bounds (diagnostics). *)
+
+(** {2 Crash / recovery}
+
+    A crashed replica neither processes nor emits messages — to its peers it
+    is indistinguishable from a partition.  The write log is durable
+    (write-ahead semantics): recovery resumes from the full log and
+    resynchronises with every peer; only execution state is volatile —
+    parked accesses are abandoned on crash (their [on_timeout] callbacks
+    fire), and submissions to a crashed replica fail fast the same way. *)
+
+val crash : t -> unit
+val recover : t -> unit
+val is_up : t -> bool
+val crash_count : t -> int
+
+val bookkeeping_entries : t -> int
+(** Size of the numerical-error bookkeeping state (per-peer, per-conit
+    outstanding-weight entries).  Section 5 claims the protocols scale with
+    the number of {e active} conits because this state is created on demand
+    rather than statically per conit; experiment E8 measures it. *)

@@ -1,0 +1,88 @@
+open Tact_store
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type t = {
+  mutable target : Replica.t;
+  guarantees : guarantee list;
+  mutable deps : (string * Tact_core.Bounds.t) list;
+  mutable affects : Write.weight list;
+  (* Session state for the guarantees: what this session has written and
+     what it has read from. *)
+  mutable write_vec : Version_vector.t option;
+  mutable read_vec : Version_vector.t option;
+}
+
+let create ?(guarantees = []) replica =
+  {
+    target = replica;
+    guarantees;
+    deps = [];
+    affects = [];
+    write_vec = None;
+    read_vec = None;
+  }
+
+let migrate t replica = t.target <- replica
+
+let dependon_conit t name ?ne ?ne_rel ?oe ?st () =
+  t.deps <- (name, Tact_core.Bounds.make ?ne ?ne_rel ?oe ?st ()) :: t.deps
+
+let affect_conit t name ~nweight ~oweight =
+  t.affects <- { Write.conit = name; nweight; oweight } :: t.affects
+
+let wants t g = List.mem g t.guarantees
+
+let merge_opt a b =
+  match (a, b) with
+  | None, v | v, None -> Option.map Version_vector.copy v
+  | Some x, Some y ->
+    let m = Version_vector.copy x in
+    Version_vector.merge_into m y;
+    Some m
+
+let requirement t ~for_read =
+  if for_read then
+    merge_opt
+      (if wants t Read_your_writes then t.write_vec else None)
+      (if wants t Monotonic_reads then t.read_vec else None)
+  else
+    merge_opt
+      (if wants t Writes_follow_reads then t.read_vec else None)
+      (if wants t Monotonic_writes then t.write_vec else None)
+
+(* Fold the replica's current vector into a session vector (called inside the
+   completion continuation, so it reflects exactly what the access saw or
+   produced). *)
+let absorb t vec_opt =
+  let current = Version_vector.copy (Wlog.vector (Replica.log t.target)) in
+  match vec_opt with
+  | None -> Some current
+  | Some v ->
+    Version_vector.merge_into current v;
+    Some current
+
+let read t f ~k =
+  let deps = t.deps in
+  t.deps <- [];
+  let require = requirement t ~for_read:true in
+  Replica.submit_read ?require t.target ~deps ~f ~k:(fun v ->
+      if wants t Monotonic_reads || wants t Writes_follow_reads then
+        t.read_vec <- absorb t t.read_vec;
+      k v)
+
+let write t op ~k =
+  let deps = t.deps and affects = t.affects in
+  t.deps <- [];
+  t.affects <- [];
+  let require = requirement t ~for_read:false in
+  Replica.submit_write ?require t.target ~deps ~affects ~op ~k:(fun outcome ->
+      if wants t Read_your_writes || wants t Monotonic_writes then
+        t.write_vec <- absorb t t.write_vec;
+      k outcome)
+
+let replica t = t.target

@@ -1,0 +1,70 @@
+(** Client sessions — the weight-specification API of Section 3.4 / Figure 5,
+    plus Bayou-style session guarantees.
+
+    A session accumulates [DependonConit] and [AffectConit] statements; the
+    next read or write consumes (and clears) them:
+
+    {[
+      let s = Session.create replica in
+      (* PostMessage *)
+      Session.affect_conit s "AllMsg" ~nweight:1.0 ~oweight:1.0;
+      if author_is_friend then
+        Session.affect_conit s "MsgFromFriends" ~nweight:1.0 ~oweight:1.0;
+      Session.write s (Op.Append ("board", Value.Str msg)) ~k:ignore;
+
+      (* ReadMessages *)
+      Session.dependon_conit s "MsgFromFriends" ~ne:3.0 ~oe:0.0 ~st:60.0 ();
+      Session.dependon_conit s "AllMsg" ~ne:10.0 ~oe:5.0 ~st:9999.0 ();
+      Session.read s (fun db -> Db.get db "board") ~k:display
+    ]}
+
+    The conit definition functions themselves are never exported — the system
+    only ever sees names, weights and bounds.
+
+    {2 Session guarantees}
+
+    Conit bounds constrain a replica's divergence from the global state;
+    session guarantees (Terry et al. 1994, implemented in Bayou, the paper's
+    substrate) constrain what one {e client} observes as it moves between
+    replicas.  A session tracks the vectors of writes it has written and
+    read-from; when the session {!migrate}s to another replica, accesses are
+    delayed until the new replica can honour the selected guarantees:
+
+    - {b Read-your-writes}: reads see every earlier write of this session.
+    - {b Monotonic reads}: reads never observe less than previous reads.
+    - {b Writes-follow-reads}: this session's writes are causally ordered
+      after the writes it previously read.
+    - {b Monotonic writes}: this session's writes are causally ordered after
+      its own earlier writes.
+
+    Guarantees compose freely with per-access conit bounds. *)
+
+type guarantee =
+  | Read_your_writes
+  | Monotonic_reads
+  | Writes_follow_reads
+  | Monotonic_writes
+
+type t
+
+val create : ?guarantees:guarantee list -> Replica.t -> t
+(** A session bound to a replica; no guarantees by default (at a fixed
+    replica, read-your-writes and monotonic reads hold anyway). *)
+
+val migrate : t -> Replica.t -> unit
+(** Rebind the session to another replica; the selected guarantees carry
+    over (subsequent accesses block until the new replica has seen enough). *)
+
+val dependon_conit :
+  t -> string -> ?ne:float -> ?ne_rel:float -> ?oe:float -> ?st:float -> unit -> unit
+(** Declare that the next access depends on the conit at the given
+    consistency level (unspecified components unconstrained). *)
+
+val affect_conit : t -> string -> nweight:float -> oweight:float -> unit
+(** Declare how the next write affects the conit. *)
+
+val read : t -> (Tact_store.Db.t -> Tact_store.Value.t) -> k:(Tact_store.Value.t -> unit) -> unit
+
+val write : t -> Tact_store.Op.t -> k:(Tact_store.Op.outcome -> unit) -> unit
+
+val replica : t -> Replica.t

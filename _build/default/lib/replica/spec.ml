@@ -1,0 +1,42 @@
+open Tact_store
+open Tact_core
+
+type 'a op_class = {
+  name : string;
+  affects : 'a -> (string * float * float) list;
+  depends : 'a -> (string * Bounds.t) list;
+  op : 'a -> Op.t;
+}
+
+let op_class ~name ?(affects = fun _ -> []) ?(depends = fun _ -> []) ~op () =
+  { name; affects; depends; op }
+
+let class_name c = c.name
+
+let annotate session ~affects ~depends =
+  List.iter
+    (fun (conit, nweight, oweight) ->
+      Session.affect_conit session conit ~nweight ~oweight)
+    affects;
+  List.iter
+    (fun (conit, (b : Bounds.t)) ->
+      Session.dependon_conit session conit ~ne:b.ne ~ne_rel:b.ne_rel ~oe:b.oe
+        ~st:b.st ())
+    depends
+
+let submit c session arg ~k =
+  annotate session ~affects:(c.affects arg) ~depends:(c.depends arg);
+  Session.write session (c.op arg) ~k
+
+type 'a query = {
+  q_name : string;
+  q_depends : 'a -> (string * Bounds.t) list;
+  q_read : 'a -> Db.t -> Value.t;
+}
+
+let query ~name ?(depends = fun _ -> []) ~read () =
+  { q_name = name; q_depends = depends; q_read = read }
+
+let ask q session arg ~k =
+  annotate session ~affects:[] ~depends:(q.q_depends arg);
+  Session.read session (q.q_read arg) ~k

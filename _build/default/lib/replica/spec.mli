@@ -1,0 +1,52 @@
+(** Declarative application specifications — Section 3.4's five conceptual
+    steps, packaged as values.
+
+    The paper prescribes: (1) crystallize the application's consistency
+    semantics; (2) determine how each write affects them and with what
+    weights; (3) attach `AffectConit` statements; (4) determine each access's
+    depend-on set and level; (5) attach `DependonConit` statements.  Steps
+    2–5 are mechanical once the semantics are fixed — an {!op_class} (for
+    writes) or {!query} (for reads) captures them once, parameterized over
+    the operation's argument, and every submission through it is annotated
+    consistently:
+
+    {[
+      let post : post_args Spec.op_class =
+        Spec.op_class ~name:"post"
+          ~affects:(fun a ->
+            ("AllMsg", 1.0, 1.0)
+            :: (if a.by_friend then [ ("MsgFromFriends", 1.0, 1.0) ] else []))
+          ~op:(fun a -> Op.Append ("board", Value.Str a.text))
+          ()
+      in
+      Spec.submit post session { text = "hi"; by_friend = true } ~k
+    ]} *)
+
+type 'a op_class
+
+val op_class :
+  name:string ->
+  ?affects:('a -> (string * float * float) list) ->
+  ?depends:('a -> (string * Tact_core.Bounds.t) list) ->
+  op:('a -> Tact_store.Op.t) ->
+  unit ->
+  'a op_class
+(** [affects] yields [(conit, nweight, oweight)] triples (step 2/3); [depends]
+    the access's consistency requirements (step 4/5); both default to none. *)
+
+val class_name : 'a op_class -> string
+
+val submit :
+  'a op_class -> Session.t -> 'a -> k:(Tact_store.Op.outcome -> unit) -> unit
+(** Annotate the session per the class and submit the write. *)
+
+type 'a query
+
+val query :
+  name:string ->
+  ?depends:('a -> (string * Tact_core.Bounds.t) list) ->
+  read:('a -> Tact_store.Db.t -> Tact_store.Value.t) ->
+  unit ->
+  'a query
+
+val ask : 'a query -> Session.t -> 'a -> k:(Tact_store.Value.t -> unit) -> unit

@@ -1,0 +1,126 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+
+type write_meta = {
+  write : Write.t;
+  accept_vector : Version_vector.t;
+  mutable return_time : float;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  config : Config.t;
+  replicas : Replica.t array;
+  writes : (Write.id, write_meta) Hashtbl.t;
+  mutable started : bool;
+}
+
+let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ~topology ~config () =
+  (match Config.validate ~n:topology.Topology.n config with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("System.create: " ^ m));
+  let engine = Engine.create () in
+  let rng = Prng.create ~seed in
+  let jit = if jitter > 0.0 then Some (rng, jitter) else None in
+  let lss = if loss > 0.0 then Some (Prng.split rng, loss) else None in
+  let net = Net.create engine topology ?jitter:jit ?loss:lss () in
+  let writes = Hashtbl.create 1024 in
+  let n = topology.Topology.n in
+  let replicas =
+    Array.init n (fun i ->
+        Replica.create ~id:i ~n ~net ~config
+          ~on_accept:(fun w vec ->
+            Hashtbl.replace writes w.Write.id
+              { write = w; accept_vector = vec; return_time = w.Write.accept_time })
+          ())
+  in
+  Array.iter (fun r -> Replica.connect r ~peers:(fun j -> replicas.(j))) replicas;
+  { engine; net; config; replicas; writes; started = false }
+
+let engine t = t.engine
+let config t = t.config
+let net t = t.net
+let size t = Array.length t.replicas
+let replica t i = t.replicas.(i)
+let now t = Engine.now t.engine
+
+let run ?until t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iter Replica.start t.replicas
+  end;
+  Engine.run ?until t.engine;
+  (* Writes return through continuations; the return time visible to external
+     order is recorded via access records.  Fold them in lazily here. *)
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (a : Tact_core.Access.t) ->
+          match a.kind with
+          | Tact_core.Access.Write_access id -> (
+            match Hashtbl.find_opt t.writes id with
+            | Some meta -> meta.return_time <- a.return_time
+            | None -> ())
+          | Tact_core.Access.Read -> ())
+        (Replica.records r))
+    t.replicas
+
+let all_writes t =
+  Hashtbl.fold (fun _ m acc -> m.write :: acc) t.writes []
+  |> List.sort Write.ts_compare
+
+let write_count t = Hashtbl.length t.writes
+
+let find_write t id =
+  Option.map (fun m -> m.write) (Hashtbl.find_opt t.writes id)
+
+let return_time t id =
+  match Hashtbl.find_opt t.writes id with
+  | Some m -> m.return_time
+  | None -> invalid_arg ("System.return_time: unknown write " ^ Write.id_to_string id)
+
+let accept_vector t id =
+  match Hashtbl.find_opt t.writes id with
+  | Some m -> m.accept_vector
+  | None -> invalid_arg ("System.accept_vector: unknown write " ^ Write.id_to_string id)
+
+let records t =
+  Array.to_list t.replicas
+  |> List.concat_map Replica.records
+  |> List.sort (fun (a : Tact_core.Access.t) b -> compare a.serve_time b.serve_time)
+
+let traffic t = Net.stats t.net
+
+let total_stats t =
+  Array.fold_left
+    (fun (acc : Replica.stats) r ->
+      let s = Replica.stats r in
+      {
+        Replica.pushes_budget = acc.pushes_budget + s.pushes_budget;
+        pulls_ne = acc.pulls_ne + s.pulls_ne;
+        pulls_oe = acc.pulls_oe + s.pulls_oe;
+        pulls_st = acc.pulls_st + s.pulls_st;
+        gossips = acc.gossips + s.gossips;
+        blocked_accesses = acc.blocked_accesses + s.blocked_accesses;
+        snapshots_sent = acc.snapshots_sent + s.snapshots_sent;
+        snapshots_installed = acc.snapshots_installed + s.snapshots_installed;
+        timeouts = acc.timeouts + s.timeouts;
+      })
+    {
+      Replica.pushes_budget = 0;
+      pulls_ne = 0;
+      pulls_oe = 0;
+      pulls_st = 0;
+      gossips = 0;
+      blocked_accesses = 0;
+      snapshots_sent = 0;
+      snapshots_installed = 0;
+      timeouts = 0;
+    }
+    t.replicas
+
+let converged t =
+  let reference = Replica.db t.replicas.(0) in
+  Array.for_all (fun r -> Db.equal (Replica.db r) reference) t.replicas

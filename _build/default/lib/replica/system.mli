@@ -1,0 +1,56 @@
+(** A complete replicated system: N replicas over a simulated network.
+
+    The system also plays the omniscient observer: it registers every write
+    accepted anywhere (with its causal context), which is what {!Verify} and
+    the experiment harness consume. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?jitter:float ->
+  ?loss:float ->
+  topology:Tact_sim.Topology.t ->
+  config:Config.t ->
+  unit ->
+  t
+(** Build and wire the replicas; background activity starts on first [run].
+    [jitter] is the fractional random extra latency per message (default
+    0.05); [loss] is an independent per-message drop probability (default
+    0). *)
+
+val engine : t -> Tact_sim.Engine.t
+val config : t -> Config.t
+val net : t -> Tact_sim.Net.t
+val size : t -> int
+val replica : t -> int -> Replica.t
+val now : t -> float
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue (up to virtual time [until]). *)
+
+val all_writes : t -> Tact_store.Write.t list
+(** Every write accepted anywhere, in canonical (timestamp) order. *)
+
+val write_count : t -> int
+
+val find_write : t -> Tact_store.Write.id -> Tact_store.Write.t option
+
+val return_time : t -> Tact_store.Write.id -> float
+(** When the write returned to its client (the basis of external order). *)
+
+val accept_vector : t -> Tact_store.Write.id -> Tact_store.Version_vector.t
+(** The originating replica's vector just before accepting the write — the
+    write's causal context. *)
+
+val records : t -> Tact_core.Access.t list
+(** All access records from all replicas, ordered by serve time. *)
+
+val traffic : t -> Tact_sim.Net.stats
+
+val total_stats : t -> Replica.stats
+(** Replica protocol counters summed across the system. *)
+
+val converged : t -> bool
+(** Do all replicas hold identical full database images?  (The eventual-
+    consistency check after quiescence.) *)

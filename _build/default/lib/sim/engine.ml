@@ -1,0 +1,50 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; seq = 0; executed = 0 }
+
+let now t = t.clock
+
+let at t ~time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock);
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~time ~seq:t.seq thunk
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(t.clock +. delay) thunk
+
+let every t ~period ?(jitter = fun () -> 0.0) thunk =
+  let rec tick () =
+    if thunk () then schedule t ~delay:(period +. jitter ()) tick
+  in
+  schedule t ~delay:(period +. jitter ()) tick
+
+let run ?(until = infinity) ?(max_events = 200_000_000) t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.queue with
+    | None -> continue := false
+    | Some time when time > until ->
+      (* Leave future events queued; advance the clock to the horizon so that
+         staleness measured at the end of a run is well defined. *)
+      t.clock <- until;
+      continue := false
+    | Some _ ->
+      (match Heap.pop t.queue with
+      | None -> continue := false
+      | Some (time, _, thunk) ->
+        t.clock <- time;
+        t.executed <- t.executed + 1;
+        if t.executed > max_events then
+          failwith "Engine.run: max_events exceeded (runaway simulation?)";
+        thunk ())
+  done
+
+let events_executed t = t.executed

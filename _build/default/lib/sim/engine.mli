@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue.  All replica logic,
+    client workloads and network deliveries run as events: closures scheduled
+    at a virtual time.  Execution is single-threaded and deterministic —
+    simultaneous events fire in scheduling order.
+
+    This is the repo's substitute for the paper's wide-area testbed: "time"
+    below is simulated wall-clock time, which is exactly the timebase in which
+    the paper defines staleness and external order. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the thunk [delay] seconds from now.  [delay] must be >= 0. *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Run the thunk at absolute virtual [time] (>= now). *)
+
+val every : t -> period:float -> ?jitter:(unit -> float) -> (unit -> bool) -> unit
+(** Periodic event: the thunk runs every [period] (+ optional jitter) seconds
+    for as long as it returns [true]. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when the queue is empty, when virtual time
+    would exceed [until], or after [max_events] events (a runaway guard —
+    raises [Failure] if hit). *)
+
+val events_executed : t -> int

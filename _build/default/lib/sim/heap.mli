@@ -1,0 +1,16 @@
+(** Binary min-heap keyed by [(time, tiebreak)] — the event queue of the
+    discrete-event engine.  The integer tiebreak (insertion sequence) makes
+    execution order of simultaneous events deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

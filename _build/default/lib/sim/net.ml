@@ -1,0 +1,110 @@
+type stats = { messages : int; bytes : int; dropped : int }
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  jitter : (Tact_util.Prng.t * float) option;
+  loss : (Tact_util.Prng.t * float) option;
+  queued : bool;
+  link_free : (int * int, float) Hashtbl.t;  (* per directed link: time the
+                                                transmitter frees up *)
+  link_traffic : (int * int, int ref * int ref) Hashtbl.t;  (* msgs, bytes *)
+  cut : (int * int, unit) Hashtbl.t;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+let create engine topo ?jitter ?loss ?(queued = false) () =
+  {
+    engine;
+    topo;
+    jitter;
+    loss;
+    queued;
+    link_free = Hashtbl.create 7;
+    link_traffic = Hashtbl.create 7;
+    cut = Hashtbl.create 7;
+    messages = 0;
+    bytes = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+let size t = t.topo.Topology.n
+
+let partitioned t a b = Hashtbl.mem t.cut (a, b)
+
+let lossy t =
+  match t.loss with
+  | None -> false
+  | Some (rng, rate) -> Tact_util.Prng.float rng 1.0 < rate
+
+let send t ~src ~dst ~size deliver =
+  if partitioned t src dst || lossy t then t.dropped <- t.dropped + 1
+  else begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + size;
+    (let msgs, bts =
+       match Hashtbl.find_opt t.link_traffic (src, dst) with
+       | Some cell -> cell
+       | None ->
+         let cell = (ref 0, ref 0) in
+         Hashtbl.replace t.link_traffic (src, dst) cell;
+         cell
+     in
+     incr msgs;
+     bts := !bts + size);
+    let base =
+      if t.queued && src <> dst then begin
+        (* FIFO link: wait for earlier messages to finish serialising. *)
+        let now = Engine.now t.engine in
+        let free =
+          match Hashtbl.find_opt t.link_free (src, dst) with
+          | Some f -> Float.max f now
+          | None -> now
+        in
+        let ser = float_of_int size /. t.topo.Topology.bandwidth src dst in
+        Hashtbl.replace t.link_free (src, dst) (free +. ser);
+        (free -. now) +. ser +. t.topo.Topology.latency src dst
+      end
+      else Topology.delay t.topo ~src ~dst ~size
+    in
+    let delay =
+      match t.jitter with
+      | None -> base
+      | Some (rng, frac) -> base +. Tact_util.Prng.float rng (frac *. base)
+    in
+    Engine.schedule t.engine ~delay deliver
+  end
+
+let partition t group_a group_b =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then begin
+            Hashtbl.replace t.cut (a, b) ();
+            Hashtbl.replace t.cut (b, a) ()
+          end)
+        group_b)
+    group_a
+
+let heal t = Hashtbl.reset t.cut
+
+let stats t = { messages = t.messages; bytes = t.bytes; dropped = t.dropped }
+
+let traffic_where t pred =
+  Hashtbl.fold
+    (fun (src, dst) (msgs, bts) (acc : stats) ->
+      if pred ~src ~dst then
+        { acc with messages = acc.messages + !msgs; bytes = acc.bytes + !bts }
+      else acc)
+    t.link_traffic
+    ({ messages = 0; bytes = 0; dropped = 0 } : stats)
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.link_traffic

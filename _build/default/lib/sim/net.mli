@@ -1,0 +1,58 @@
+(** Message-passing network on top of the event engine.
+
+    Provides point-to-point delivery with topology-derived delay plus optional
+    jitter, full traffic accounting (the raw material of the paper's overhead
+    figures), and failure injection: link or node partitions that silently
+    drop messages until healed, emulating wide-area outages. *)
+
+type t
+
+type stats = {
+  messages : int;
+  bytes : int;
+  dropped : int;  (** messages lost to partitions *)
+}
+
+val create :
+  Engine.t ->
+  Topology.t ->
+  ?jitter:(Tact_util.Prng.t * float) ->
+  ?loss:(Tact_util.Prng.t * float) ->
+  ?queued:bool ->
+  unit ->
+  t
+(** [jitter = (rng, frac)] adds a uniform [0, frac * delay) random extra
+    delay to every message.  [loss = (rng, rate)] drops each message
+    independently with probability [rate] — the protocol layers must (and do)
+    tolerate this via acknowledgement-driven retransmission and retry
+    rounds.  [queued] (default false) models each directed link as a FIFO
+    with finite bandwidth: a message must wait for the link to finish
+    serialising earlier ones, so bursts experience queueing delay instead of
+    transmitting in parallel. *)
+
+val engine : t -> Engine.t
+val size : t -> int
+(** Number of nodes in the topology. *)
+
+val send : t -> src:int -> dst:int -> size:int -> (unit -> unit) -> unit
+(** Deliver [deliver] at the destination after the link delay.  Messages on
+    the same link are NOT ordered (models independent datagrams / parallel
+    connections); protocol layers must tolerate reordering.  Dropped silently
+    if the pair is partitioned at send time. *)
+
+val partition : t -> int list -> int list -> unit
+(** Cut all links between the two node groups (both directions). *)
+
+val heal : t -> unit
+(** Remove all partitions. *)
+
+val partitioned : t -> int -> int -> bool
+
+val stats : t -> stats
+
+val traffic_where : t -> (src:int -> dst:int -> bool) -> stats
+(** Aggregate traffic over the directed links matching the predicate — e.g.
+    split WAN from LAN bytes in a clustered topology.  [dropped] is not
+    tracked per link and reads 0. *)
+
+val reset_stats : t -> unit

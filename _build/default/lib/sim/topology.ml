@@ -1,0 +1,45 @@
+type t = {
+  n : int;
+  latency : int -> int -> float;
+  bandwidth : int -> int -> float;
+}
+
+let uniform ~n ~latency ~bandwidth =
+  {
+    n;
+    latency = (fun a b -> if a = b then 0.0 else latency);
+    bandwidth = (fun _ _ -> bandwidth);
+  }
+
+let clustered ~clusters ~per_cluster ~local ~wan ~bandwidth =
+  let n = clusters * per_cluster in
+  let cluster_of i = i / per_cluster in
+  {
+    n;
+    latency =
+      (fun a b ->
+        if a = b then 0.0
+        else if cluster_of a = cluster_of b then local
+        else wan);
+    bandwidth = (fun _ _ -> bandwidth);
+  }
+
+let star ~n ~spoke ~bandwidth =
+  {
+    n;
+    latency =
+      (fun a b ->
+        if a = b then 0.0
+        else if a = 0 || b = 0 then spoke
+        else 2.0 *. spoke);
+    bandwidth = (fun _ _ -> bandwidth);
+  }
+
+let from_matrix ~latency ~bandwidth =
+  let n = Array.length latency in
+  Array.iter (fun row -> assert (Array.length row = n)) latency;
+  { n; latency = (fun a b -> latency.(a).(b)); bandwidth = (fun _ _ -> bandwidth) }
+
+let delay t ~src ~dst ~size =
+  if src = dst then 0.0
+  else t.latency src dst +. (float_of_int size /. t.bandwidth src dst)

@@ -1,0 +1,1 @@
+lib/store/codec.ml: Buffer Char Db Int64 List Op Printf String Sys Value Version_vector Wlog Write

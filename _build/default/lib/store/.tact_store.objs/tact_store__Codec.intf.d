@@ -1,0 +1,1 @@
+lib/store/codec.mli: Buffer Op Value Version_vector Wlog Write

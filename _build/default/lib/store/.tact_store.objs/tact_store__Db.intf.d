@@ -1,0 +1,1 @@
+lib/store/db.mli: Value

@@ -1,0 +1,1 @@
+lib/store/op.ml: Db Hashtbl Printf String Value

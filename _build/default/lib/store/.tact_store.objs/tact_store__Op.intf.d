@@ -1,0 +1,1 @@
+lib/store/op.mli: Db Value

@@ -1,0 +1,1 @@
+lib/store/value.ml: List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/store/version_vector.mli:

@@ -1,0 +1,1 @@
+lib/store/wlog.ml: Array Db Float Hashtbl List Op Printf Value Version_vector Write

@@ -1,0 +1,1 @@
+lib/store/wlog.mli: Db Op Value Version_vector Write

@@ -1,0 +1,1 @@
+lib/store/write.ml: List Op Printf Stdlib String

@@ -1,0 +1,267 @@
+exception Malformed of string
+exception Unserializable of string
+
+type cursor = { data : string; mutable pos : int }
+
+let cursor data = { data; pos = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Primitives: tagged, fixed-width integers/floats, length-prefixed
+   strings.  Big-endian for determinism across hosts. *)
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+let put_i64 buf n =
+  for byte = 7 downto 0 do
+    let shift = byte * 8 in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical n shift) land 0xff))
+  done
+
+let put_int buf n = put_i64 buf (Int64.of_int n)
+let put_float buf f = put_i64 buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let need c n =
+  if c.pos + n > String.length c.data then
+    raise (Malformed (Printf.sprintf "truncated at %d (need %d)" c.pos n))
+
+let get_u8 c =
+  need c 1;
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.data.[c.pos]));
+    c.pos <- c.pos + 1
+  done;
+  !v
+
+let get_int c = Int64.to_int (get_i64 c)
+let get_float c = Int64.float_of_bits (get_i64 c)
+
+let get_string c =
+  let n = get_int c in
+  if n < 0 then raise (Malformed "negative string length");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let rec encode_value buf (v : Value.t) =
+  match v with
+  | Value.Nil -> put_u8 buf 0
+  | Value.Int i ->
+    put_u8 buf 1;
+    put_int buf i
+  | Value.Float f ->
+    put_u8 buf 2;
+    put_float buf f
+  | Value.Str s ->
+    put_u8 buf 3;
+    put_string buf s
+  | Value.List l ->
+    put_u8 buf 4;
+    put_int buf (List.length l);
+    List.iter (encode_value buf) l
+
+let rec decode_value c =
+  match get_u8 c with
+  | 0 -> Value.Nil
+  | 1 -> Value.Int (get_int c)
+  | 2 -> Value.Float (get_float c)
+  | 3 -> Value.Str (get_string c)
+  | 4 ->
+    let n = get_int c in
+    if n < 0 then raise (Malformed "negative list length");
+    Value.List (List.init n (fun _ -> decode_value c))
+  | t -> raise (Malformed (Printf.sprintf "bad value tag %d" t))
+
+(* ------------------------------------------------------------------ *)
+(* Operations *)
+
+let encode_op buf (op : Op.t) =
+  match op with
+  | Op.Noop -> put_u8 buf 0
+  | Op.Set (k, v) ->
+    put_u8 buf 1;
+    put_string buf k;
+    encode_value buf v
+  | Op.Add (k, d) ->
+    put_u8 buf 2;
+    put_string buf k;
+    put_float buf d
+  | Op.Append (k, v) ->
+    put_u8 buf 3;
+    put_string buf k;
+    encode_value buf v
+  | Op.Named (name, arg) ->
+    put_u8 buf 4;
+    put_string buf name;
+    encode_value buf arg
+  | Op.Proc p ->
+    raise
+      (Unserializable
+         (Printf.sprintf
+            "write procedure %S is a closure; use Op.Named with a registered \
+             procedure"
+            p.Op.name))
+
+let decode_op c =
+  match get_u8 c with
+  | 0 -> Op.Noop
+  | 1 ->
+    let k = get_string c in
+    Op.Set (k, decode_value c)
+  | 2 ->
+    let k = get_string c in
+    Op.Add (k, get_float c)
+  | 3 ->
+    let k = get_string c in
+    Op.Append (k, decode_value c)
+  | 4 ->
+    let name = get_string c in
+    Op.Named (name, decode_value c)
+  | t -> raise (Malformed (Printf.sprintf "bad op tag %d" t))
+
+(* ------------------------------------------------------------------ *)
+(* Writes *)
+
+let encode_write buf (w : Write.t) =
+  put_int buf w.id.origin;
+  put_int buf w.id.seq;
+  put_float buf w.accept_time;
+  put_int buf (List.length w.affects);
+  List.iter
+    (fun { Write.conit; nweight; oweight } ->
+      put_string buf conit;
+      put_float buf nweight;
+      put_float buf oweight)
+    w.affects;
+  encode_op buf w.op
+
+let decode_write c =
+  let origin = get_int c in
+  let seq = get_int c in
+  let accept_time = get_float c in
+  let n = get_int c in
+  if n < 0 then raise (Malformed "negative affects length");
+  let affects =
+    List.init n (fun _ ->
+        let conit = get_string c in
+        let nweight = get_float c in
+        let oweight = get_float c in
+        { Write.conit; nweight; oweight })
+  in
+  let op = decode_op c in
+  { Write.id = { origin; seq }; accept_time; op; affects }
+
+(* ------------------------------------------------------------------ *)
+(* Version vectors and snapshots *)
+
+let encode_vector buf v =
+  let n = Version_vector.size v in
+  put_int buf n;
+  for i = 0 to n - 1 do
+    put_int buf (Version_vector.get v i)
+  done
+
+let decode_vector c =
+  let n = get_int c in
+  if n < 0 || n > 1_000_000 then raise (Malformed "bad vector size");
+  let v = Version_vector.create n in
+  for i = 0 to n - 1 do
+    Version_vector.set v i (get_int c)
+  done;
+  v
+
+let encode_snapshot buf (s : Wlog.snapshot) =
+  encode_vector buf s.snap_vector;
+  put_int buf s.snap_ncommitted;
+  put_int buf (List.length s.snap_values);
+  List.iter
+    (fun (conit, v) ->
+      put_string buf conit;
+      put_float buf v)
+    s.snap_values;
+  let keys = List.sort String.compare (Db.keys s.snap_db) in
+  put_int buf (List.length keys);
+  List.iter
+    (fun k ->
+      put_string buf k;
+      encode_value buf (Db.get s.snap_db k))
+    keys
+
+let decode_snapshot c =
+  let snap_vector = decode_vector c in
+  let snap_ncommitted = get_int c in
+  let nvals = get_int c in
+  if nvals < 0 then raise (Malformed "negative values length");
+  let snap_values =
+    List.init nvals (fun _ ->
+        let conit = get_string c in
+        (conit, get_float c))
+  in
+  let nkeys = get_int c in
+  if nkeys < 0 then raise (Malformed "negative db size");
+  let snap_db = Db.create [] in
+  for _ = 1 to nkeys do
+    let k = get_string c in
+    Db.set snap_db k (decode_value c)
+  done;
+  { Wlog.snap_db; snap_vector; snap_ncommitted; snap_values }
+
+(* ------------------------------------------------------------------ *)
+(* Whole messages and files *)
+
+let to_string f x =
+  let buf = Buffer.create 256 in
+  f buf x;
+  Buffer.contents buf
+
+let write_to_string w = to_string encode_write w
+let write_of_string s = decode_write (cursor s)
+
+let snapshot_to_string s = to_string encode_snapshot s
+let snapshot_of_string s = decode_snapshot (cursor s)
+
+let magic = "TACTSNAP1"
+
+let save_snapshot ~path snap =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     output_string oc (snapshot_to_string snap);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp path
+
+let load_snapshot ~path =
+  let ic = open_in_bin path in
+  let contents =
+    try
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  let mlen = String.length magic in
+  if String.length contents < mlen || String.sub contents 0 mlen <> magic then
+    raise (Malformed "bad snapshot magic");
+  decode_snapshot (cursor (String.sub contents mlen (String.length contents - mlen)))

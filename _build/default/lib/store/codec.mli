@@ -1,0 +1,53 @@
+(** Binary codec for the serialisable protocol types.
+
+    A compact, self-describing binary format for values, operations, writes,
+    version vectors and snapshots — the groundwork for durable state
+    (snapshot files, write-ahead logs) and the exact-size accounting a real
+    transport would have.  [Op.Proc] closures are simulation-only and cannot
+    be encoded; use {!Op.Named} registered procedures for anything that must
+    cross a wire or reach a disk.
+
+    The format is length-prefixed and versioned; decoding a corrupt or
+    truncated buffer raises {!Malformed}. *)
+
+exception Malformed of string
+exception Unserializable of string
+(** Raised when encoding an [Op.Proc] closure. *)
+
+(** {2 Buffer-level encoders / cursor-based decoders} *)
+
+type cursor = { data : string; mutable pos : int }
+
+val cursor : string -> cursor
+
+val encode_value : Buffer.t -> Value.t -> unit
+val decode_value : cursor -> Value.t
+
+val encode_op : Buffer.t -> Op.t -> unit
+val decode_op : cursor -> Op.t
+
+val encode_write : Buffer.t -> Write.t -> unit
+val decode_write : cursor -> Write.t
+
+val encode_vector : Buffer.t -> Version_vector.t -> unit
+val decode_vector : cursor -> Version_vector.t
+
+val encode_snapshot : Buffer.t -> Wlog.snapshot -> unit
+val decode_snapshot : cursor -> Wlog.snapshot
+
+(** {2 Whole-message helpers} *)
+
+val write_to_string : Write.t -> string
+val write_of_string : string -> Write.t
+
+val snapshot_to_string : Wlog.snapshot -> string
+val snapshot_of_string : string -> Wlog.snapshot
+
+(** {2 Durable snapshots} *)
+
+val save_snapshot : path:string -> Wlog.snapshot -> unit
+(** Write the snapshot to a file (magic header + payload), atomically via a
+    temporary file and rename. *)
+
+val load_snapshot : path:string -> Wlog.snapshot
+(** Raises {!Malformed} on bad magic/corruption, [Sys_error] on IO failure. *)

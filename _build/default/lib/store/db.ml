@@ -1,0 +1,30 @@
+type t = (string, Value.t) Hashtbl.t
+
+let create bindings =
+  let t = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+  t
+
+let copy = Hashtbl.copy
+
+let get t k = match Hashtbl.find_opt t k with Some v -> v | None -> Value.Nil
+let set t k v = Hashtbl.replace t k v
+
+let get_float t k = Value.to_float (get t k)
+let get_int t k = Value.to_int (get t k)
+
+let add t k delta =
+  let v = get_float t k in
+  set t k (Value.Float (v +. delta))
+
+let append t k v = set t k (Value.List (v :: Value.to_list (get t k)))
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let equal a b =
+  let subset x y =
+    Hashtbl.fold (fun k v acc -> acc && Value.equal v (match Hashtbl.find_opt y k with Some w -> w | None -> Value.Nil)) x true
+  in
+  subset a b && subset b a
+
+let size = Hashtbl.length

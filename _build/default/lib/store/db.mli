@@ -1,0 +1,31 @@
+(** Mutable database image: the state a replica exposes to reads.
+
+    Each replica maintains two images (see {!Wlog}): one reflecting only the
+    committed prefix of the write log, and the full view including tentative
+    writes.  Rollback/reapply of tentative writes works by copying the
+    committed image and replaying. *)
+
+type t
+
+val create : (string * Value.t) list -> t
+val copy : t -> t
+
+val get : t -> string -> Value.t
+(** Missing keys read as [Value.Nil]. *)
+
+val set : t -> string -> Value.t -> unit
+
+val get_float : t -> string -> float
+val get_int : t -> string -> int
+
+val add : t -> string -> float -> unit
+(** Numeric increment; missing keys start at 0. *)
+
+val append : t -> string -> Value.t -> unit
+(** Add to the list at [key]; missing keys start as [].  Lists are kept
+    newest-first (constant-time add); readers see the most recent element at
+    the head. *)
+
+val keys : t -> string list
+val equal : t -> t -> bool
+val size : t -> int

@@ -1,0 +1,62 @@
+(** Logical write operations.
+
+    Per the paper's system model (Section 2), writes are {e procedures}: they
+    check for conflicts against the underlying database before updating it and
+    may take an alternative action on conflict.  Because tentative writes can
+    be rolled back and reapplied in a different order, the same operation may
+    yield different outcomes across applications; the outcome under the final
+    committed order is the write's {e actual} result. *)
+
+type outcome =
+  | Applied of Value.t  (** the write's return value *)
+  | Conflict of string  (** the write procedure detected a conflict and took
+                            its alternative action (a no-op plus this reason) *)
+
+type t =
+  | Noop
+  | Set of string * Value.t
+  | Add of string * float  (** numeric increment (negative = decrement) *)
+  | Append of string * Value.t  (** add to the list at the key *)
+  | Proc of proc
+      (** A full write procedure: [body] inspects the database, decides
+          whether it conflicts, and if not performs its updates.  [name] and
+          [size] describe it for tracing and traffic accounting.  Closures
+          are simulation-only; for a serialisable procedure use {!Named}. *)
+  | Named of string * Value.t
+      (** A registered write procedure applied to an argument — the
+          wire-serialisable form of [Proc] (see {!register_proc} and
+          {!Codec}).  Application raises [Invalid_argument] if the name is
+          not registered. *)
+
+and proc = { name : string; size : int; body : Db.t -> outcome }
+
+val apply : t -> Db.t -> outcome
+(** Execute the operation against the database image, mutating it. *)
+
+val register_proc : string -> (Value.t -> Db.t -> outcome) -> unit
+(** Register the behaviour of a {!Named} procedure.  Registration is global
+    (all replicas execute the same code, exactly as deployed binaries would)
+    and must happen before any [Named] op is applied.  Re-registration
+    replaces the previous behaviour. *)
+
+val proc_registered : string -> bool
+
+val guarded :
+  name:string ->
+  ?size:int ->
+  check:(Db.t -> bool) ->
+  apply:(Db.t -> Value.t) ->
+  ?alt:(Db.t -> string) ->
+  unit ->
+  t
+(** Build a {!Proc}: when [check db] holds, run [apply]; otherwise the write
+    conflicts with reason [alt db] (default ["conflict"]). *)
+
+val byte_size : t -> int
+(** Estimated wire size of the operation. *)
+
+val describe : t -> string
+
+val conflicted : outcome -> bool
+val result : outcome -> Value.t
+(** The return value; [Nil] for conflicts. *)

@@ -1,0 +1,387 @@
+type insertion = Inserted of Op.outcome | Duplicate | Buffered
+
+type snapshot = {
+  snap_db : Db.t;
+  snap_vector : Version_vector.t;
+  snap_ncommitted : int;
+  snap_values : (string * float) list;
+}
+
+(* The tentative suffix is stored newest-first ([tent_rev]) so that the common
+   case — a write landing at the tail of the timestamp order — is a constant
+   time cons.  All consumers that need oldest-first order reverse it. *)
+type t = {
+  nreplicas : int;
+  initial : (string * Value.t) list;
+  mutable committed_rev : Write.t list; (* committed prefix, newest first *)
+  mutable ncommitted : int;
+  mutable committed_db : Db.t;
+  mutable tent_rev : Write.t list; (* tentative suffix, ts order reversed *)
+  mutable full_db : Db.t;
+  vector : Version_vector.t;
+  committed_vec : Version_vector.t;  (* writes in the committed prefix *)
+  trunc_vec : Version_vector.t;  (* writes that may have been discarded *)
+  by_id : (Write.id, Write.t) Hashtbl.t;
+  committed_ids : (Write.id, unit) Hashtbl.t;
+  pending : (Write.id, Write.t) Hashtbl.t; (* per-origin sequence gaps *)
+  outcomes : (Write.id, Op.outcome) Hashtbl.t;
+  finals : (Write.id, Op.outcome) Hashtbl.t;
+  values : (string, float) Hashtbl.t; (* conit -> accumulated nweight *)
+  committed_values : (string, float) Hashtbl.t;
+  tent_oweights : (string, float) Hashtbl.t; (* conit -> tentative oweight *)
+  mutable nrollbacks : int;
+}
+
+let create ~replicas ~initial =
+  {
+    nreplicas = replicas;
+    initial;
+    committed_rev = [];
+    ncommitted = 0;
+    committed_db = Db.create initial;
+    tent_rev = [];
+    full_db = Db.create initial;
+    vector = Version_vector.create replicas;
+    committed_vec = Version_vector.create replicas;
+    trunc_vec = Version_vector.create replicas;
+    by_id = Hashtbl.create 256;
+    committed_ids = Hashtbl.create 256;
+    pending = Hashtbl.create 8;
+    outcomes = Hashtbl.create 256;
+    finals = Hashtbl.create 256;
+    values = Hashtbl.create 16;
+    committed_values = Hashtbl.create 16;
+    tent_oweights = Hashtbl.create 16;
+    nrollbacks = 0;
+  }
+
+let htbl_add tbl key delta =
+  let v = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0 in
+  Hashtbl.replace tbl key (v +. delta)
+
+let htbl_get tbl key =
+  match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0
+
+(* Bookkeeping common to every successful insertion. *)
+let register t (w : Write.t) =
+  Hashtbl.replace t.by_id w.id w;
+  Version_vector.set t.vector w.id.origin w.id.seq;
+  List.iter
+    (fun { Write.conit; nweight; oweight } ->
+      htbl_add t.values conit nweight;
+      htbl_add t.tent_oweights conit oweight)
+    w.affects
+
+let apply_tentative t (w : Write.t) =
+  let outcome = Op.apply w.op t.full_db in
+  Hashtbl.replace t.outcomes w.id outcome;
+  outcome
+
+(* Rebuild the full image by replaying the tentative suffix over a fresh copy
+   of the committed image, re-recording outcomes (they may change — that is
+   the point of write procedures under reordering). *)
+let replay t =
+  t.nrollbacks <- t.nrollbacks + 1;
+  t.full_db <- Db.copy t.committed_db;
+  List.iter (fun w -> ignore (apply_tentative t w)) (List.rev t.tent_rev)
+
+(* Insert into the tentative suffix; returns true when the write lands at the
+   tail of the timestamp order (no rollback needed). *)
+let insert_sorted t w =
+  match t.tent_rev with
+  | [] ->
+    t.tent_rev <- [ w ];
+    true
+  | newest :: _ when Write.ts_compare newest w < 0 ->
+    t.tent_rev <- w :: t.tent_rev;
+    true
+  | _ ->
+    (* Insert into the descending-order list. *)
+    let rec ins = function
+      | [] -> [ w ]
+      | x :: tl as l -> if Write.ts_compare w x > 0 then w :: l else x :: ins tl
+    in
+    t.tent_rev <- ins t.tent_rev;
+    false
+
+let next_seq t origin = Version_vector.get t.vector origin + 1
+
+let accept t (w : Write.t) =
+  if w.id.seq <> next_seq t w.id.origin then
+    invalid_arg
+      (Printf.sprintf "Wlog.accept: %s out of sequence (expected seq %d)"
+         (Write.id_to_string w.id) (next_seq t w.id.origin));
+  register t w;
+  if insert_sorted t w then apply_tentative t w
+  else begin
+    replay t;
+    match Hashtbl.find_opt t.outcomes w.id with
+    | Some o -> o
+    | None -> assert false
+  end
+
+let known t id =
+  Version_vector.covers t.vector ~origin:id.Write.origin ~seq:id.Write.seq
+
+(* Drain the pending buffer for an origin after its gap filled.  Each drained
+   write must be registered before looking for the next one — registration is
+   what advances the vector the lookup keys on. *)
+let rec drain_pending t origin acc =
+  let id = { Write.origin; seq = next_seq t origin } in
+  match Hashtbl.find_opt t.pending id with
+  | None -> List.rev acc
+  | Some w ->
+    Hashtbl.remove t.pending id;
+    register t w;
+    ignore (insert_sorted t w);
+    drain_pending t origin (w :: acc)
+
+let insert_one t (w : Write.t) =
+  if known t w.id then `Duplicate
+  else if w.id.seq > next_seq t w.id.origin then begin
+    Hashtbl.replace t.pending w.id w;
+    `Buffered
+  end
+  else begin
+    register t w;
+    let at_tail = insert_sorted t w in
+    let ready = drain_pending t w.id.origin [] in
+    `Inserted (at_tail && ready = [], w :: ready)
+  end
+
+let insert t w =
+  match insert_one t w with
+  | `Duplicate -> Duplicate
+  | `Buffered -> Buffered
+  | `Inserted (at_tail, fresh) ->
+    let only_w = match fresh with [ x ] -> x.Write.id = w.Write.id | _ -> false in
+    if at_tail && only_w then Inserted (apply_tentative t w)
+    else begin
+      replay t;
+      match Hashtbl.find_opt t.outcomes w.id with
+      | Some o -> Inserted o
+      | None -> assert false
+    end
+
+let insert_batch t ws =
+  (* Apply cheaply when everything lands at the tail; otherwise one replay. *)
+  let sorted = List.sort Write.ts_compare ws in
+  let fresh = ref [] in
+  let clean = ref true in
+  List.iter
+    (fun w ->
+      match insert_one t w with
+      | `Duplicate -> ()
+      | `Buffered -> ()
+      | `Inserted (at_tail, new_writes) ->
+        fresh := List.rev_append new_writes !fresh;
+        let only_w =
+          match new_writes with [ x ] -> x.Write.id = w.Write.id | _ -> false
+        in
+        if at_tail && only_w && !clean then ignore (apply_tentative t w)
+        else clean := false)
+    sorted;
+  if not !clean then replay t;
+  List.sort Write.ts_compare !fresh
+
+let vector t = t.vector
+
+let writes_since t v =
+  let out = ref [] in
+  for origin = 0 to t.nreplicas - 1 do
+    for seq = Version_vector.get v origin + 1 to Version_vector.get t.vector origin do
+      match Hashtbl.find_opt t.by_id { Write.origin; seq } with
+      | Some w -> out := w :: !out
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Wlog.writes_since: w%d.%d was truncated (check can_serve first)"
+             origin seq)
+    done
+  done;
+  List.sort Write.ts_compare !out
+
+let db t = t.full_db
+let committed_db t = t.committed_db
+let tentative t = List.rev t.tent_rev
+let committed t = List.rev t.committed_rev
+let committed_count t = t.ncommitted
+let num_known t = Hashtbl.length t.by_id
+
+(* Move one write into the committed prefix, applying it to the committed
+   image and recording its final outcome. *)
+let commit_one t (w : Write.t) =
+  let outcome = Op.apply w.op t.committed_db in
+  Hashtbl.replace t.finals w.id outcome;
+  Hashtbl.replace t.committed_ids w.id ();
+  Version_vector.set t.committed_vec w.id.origin
+    (max w.id.seq (Version_vector.get t.committed_vec w.id.origin));
+  t.committed_rev <- w :: t.committed_rev;
+  t.ncommitted <- t.ncommitted + 1;
+  List.iter
+    (fun { Write.conit; nweight; oweight } ->
+      htbl_add t.committed_values conit nweight;
+      htbl_add t.tent_oweights conit (-.oweight))
+    w.affects
+
+(* A tentative write is stable when no origin can still produce a write that
+   precedes it in timestamp order.  The strict comparison handles simultaneous
+   accept times: origin [o] may yet produce a write at exactly [cover.(o)],
+   which would precede [w] iff [o < w.origin]. *)
+let stable ~cover (w : Write.t) =
+  let ok = ref true in
+  Array.iteri
+    (fun o c ->
+      if o <> w.id.origin then
+        if c < w.accept_time || (c = w.accept_time && o < w.id.origin) then ok := false)
+    cover;
+  !ok
+
+let commit_stable t ~cover =
+  if Array.length cover <> t.nreplicas then
+    invalid_arg "Wlog.commit_stable: cover arity mismatch";
+  let rec take n = function
+    | w :: rest when stable ~cover w ->
+      commit_one t w;
+      take (n + 1) rest
+    | rest ->
+      t.tent_rev <- List.rev rest;
+      n
+  in
+  take 0 (List.rev t.tent_rev)
+
+let commit_ids t ids =
+  let n = ref 0 in
+  let reordered = ref false in
+  List.iter
+    (fun id ->
+      if known t id && not (Hashtbl.mem t.committed_ids id) then begin
+        let w = Hashtbl.find t.by_id id in
+        (* Commit order agrees with the full-image order only when the write
+           being committed is the oldest tentative one. *)
+        (match List.rev t.tent_rev with
+        | oldest :: _ when oldest.Write.id = id -> ()
+        | _ -> reordered := true);
+        t.tent_rev <- List.filter (fun x -> x.Write.id <> id) t.tent_rev;
+        commit_one t w;
+        incr n
+      end)
+    ids;
+  if !n > 0 && !reordered then replay t;
+  !n
+
+let tentative_oweight t conit = htbl_get t.tent_oweights conit
+
+let tentative_max_oweight t =
+  Hashtbl.fold (fun _ v acc -> Float.max v acc) t.tent_oweights 0.0
+
+let conit_value t conit = htbl_get t.values conit
+let committed_conit_value t conit = htbl_get t.committed_values conit
+
+let outcome t id = Hashtbl.find_opt t.outcomes id
+let final_outcome t id = Hashtbl.find_opt t.finals id
+let rollbacks t = t.nrollbacks
+
+(* ------------------------------------------------------------------ *)
+(* Truncation and snapshots                                            *)
+
+let retained t = List.length t.committed_rev
+
+let committed_vector t = t.committed_vec
+
+let truncate t ~keep =
+  let n = retained t in
+  if n <= keep then 0
+  else begin
+    (* committed_rev is newest-first: keep the first [keep], drop the rest. *)
+    let rec split i acc = function
+      | [] -> (List.rev acc, [])
+      | l when i = keep -> (List.rev acc, l)
+      | x :: tl -> split (i + 1) (x :: acc) tl
+    in
+    let kept_rev, dropped = split 0 [] t.committed_rev in
+    t.committed_rev <- kept_rev;
+    List.iter
+      (fun (w : Write.t) ->
+        Hashtbl.remove t.by_id w.id;
+        Version_vector.set t.trunc_vec w.id.origin
+          (max w.id.seq (Version_vector.get t.trunc_vec w.id.origin)))
+      dropped;
+    List.length dropped
+  end
+
+let can_serve t v = Version_vector.dominates v t.trunc_vec
+
+let snapshot t =
+  {
+    snap_db = Db.copy t.committed_db;
+    snap_vector = Version_vector.copy t.committed_vec;
+    snap_ncommitted = t.ncommitted;
+    snap_values = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.committed_values [];
+  }
+
+let install_snapshot t snap =
+  if
+    Version_vector.dominates t.committed_vec snap.snap_vector
+    (* local state is already at or past the snapshot *)
+  then false
+  else if not (Version_vector.dominates snap.snap_vector t.committed_vec) then
+    (* Incomparable committed states cannot happen under one commitment
+       scheme; refuse rather than corrupt. *)
+    false
+  else begin
+    let covered (w : Write.t) =
+      Version_vector.covers snap.snap_vector ~origin:w.id.origin ~seq:w.id.seq
+    in
+    (* Adopt the snapshot as the committed state. *)
+    t.committed_db <- Db.copy snap.snap_db;
+    t.ncommitted <- snap.snap_ncommitted;
+    for o = 0 to t.nreplicas - 1 do
+      Version_vector.set t.committed_vec o (Version_vector.get snap.snap_vector o);
+      (* Every write the snapshot folds in behaves as truncated locally: we
+         cannot serve it write-by-write. *)
+      Version_vector.set t.trunc_vec o
+        (max (Version_vector.get t.trunc_vec o) (Version_vector.get snap.snap_vector o))
+    done;
+    (* Retained committed records are all covered by the snapshot; drop them. *)
+    List.iter (fun (w : Write.t) -> Hashtbl.remove t.by_id w.id) t.committed_rev;
+    t.committed_rev <- [];
+    Hashtbl.reset t.committed_values;
+    List.iter (fun (k, v) -> Hashtbl.replace t.committed_values k v) snap.snap_values;
+    (* Tentative writes the snapshot covers were committed remotely — drop
+       them (their final outcomes are not locally recoverable); keep and
+       replay the rest. *)
+    let kept, folded = List.partition (fun w -> not (covered w)) t.tent_rev in
+    List.iter
+      (fun (w : Write.t) ->
+        Hashtbl.remove t.by_id w.id;
+        Hashtbl.replace t.committed_ids w.id ())
+      folded;
+    t.tent_rev <- kept;
+    (* Rebuild the derived quantities: known vector, conit values, tentative
+       oweights. *)
+    Version_vector.merge_into t.vector snap.snap_vector;
+    Hashtbl.reset t.tent_oweights;
+    Hashtbl.reset t.values;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.values k v) t.committed_values;
+    List.iter
+      (fun (w : Write.t) ->
+        List.iter
+          (fun { Write.conit; nweight; oweight } ->
+            htbl_add t.values conit nweight;
+            htbl_add t.tent_oweights conit oweight)
+          w.affects)
+      kept;
+    (* Drop pending-buffer entries the snapshot already covers. *)
+    let stale =
+      Hashtbl.fold
+        (fun id _ acc ->
+          if Version_vector.covers snap.snap_vector ~origin:id.Write.origin ~seq:id.Write.seq
+          then id :: acc
+          else acc)
+        t.pending []
+    in
+    List.iter (Hashtbl.remove t.pending) stale;
+    replay t;
+    true
+  end

@@ -1,0 +1,144 @@
+(** Per-replica write log (Section 2 of the paper).
+
+    The log holds every write applied to the replica's database image, split
+    into a {e committed} prefix — totally ordered, never reordered again — and
+    a {e tentative} suffix kept in the canonical timestamp order
+    [(accept_time, origin, seq)] and subject to rollback and reapplication
+    when writes arrive out of order.  Two database images are maintained: the
+    committed image (state after the committed prefix only) and the full image
+    (committed plus tentative), which is what reads observe.
+
+    The log also maintains, incrementally, the quantities the conit metrics
+    are built from: per-conit observed value (accumulated nweights of all
+    known writes — the weight-specification reading of a conit's value,
+    Section 3.4) and per-conit tentative oweight (the replica's order error).
+
+    Out-of-order arrival {e within one origin's sequence} (possible only under
+    message loss plus reordering) is absorbed by a pending buffer, so the
+    version vector always describes a contiguous per-origin prefix. *)
+
+type t
+
+type insertion =
+  | Inserted of Op.outcome  (** applied tentatively; outcome of this application *)
+  | Duplicate  (** already known *)
+  | Buffered  (** a per-origin sequence gap; parked until the gap fills *)
+
+val create : replicas:int -> initial:(string * Value.t) list -> t
+
+val accept : t -> Write.t -> Op.outcome
+(** Insert a locally originated write.  Must be the next sequence number for
+    its origin and must not precede any known write in timestamp order. *)
+
+val insert : t -> Write.t -> insertion
+(** Insert one remote write, rolling back / reapplying the tentative suffix
+    if it lands in the middle. *)
+
+val insert_batch : t -> Write.t list -> Write.t list
+(** Insert many writes with at most one rollback; returns the writes that
+    were actually new to this replica (including any pending-buffer entries
+    the batch released), in timestamp order. *)
+
+val vector : t -> Version_vector.t
+(** The live vector of known writes (do not mutate). *)
+
+val known : t -> Write.id -> bool
+
+val writes_since : t -> Version_vector.t -> Write.t list
+(** Every known write not covered by the given vector (anti-entropy payload),
+    in timestamp order. *)
+
+val db : t -> Db.t
+(** Full view: committed prefix plus tentative suffix applied. *)
+
+val committed_db : t -> Db.t
+
+val tentative : t -> Write.t list
+(** The tentative suffix, in timestamp order. *)
+
+val committed : t -> Write.t list
+(** The committed prefix, in commit order. *)
+
+val committed_count : t -> int
+val num_known : t -> int
+
+val commit_stable : t -> cover:float array -> int
+(** Stability commitment: [cover.(o)] promises that every write from origin
+    [o] with accept time <= [cover.(o)] is known to this replica.  Commits
+    the maximal stable prefix of the tentative suffix — writes that no origin
+    can still precede in timestamp order — and returns how many were
+    committed.  Commit order equals timestamp order, so the full image is
+    unaffected. *)
+
+val commit_ids : t -> Write.id list -> int
+(** Commitment in an externally supplied order (the primary-CSN scheme).
+    Commits each known, not-yet-committed id in the given order; ids must be
+    committed in the same order system-wide.  Because the order may differ
+    from timestamp order, the full image is re-derived.  Returns how many
+    were committed. *)
+
+val tentative_oweight : t -> string -> float
+(** Order error of a conit at this replica: summed oweight of tentative
+    writes affecting it. *)
+
+val tentative_max_oweight : t -> float
+(** Max over conits of {!tentative_oweight} — a cheap upper bound used when a
+    single commitment decision covers all conits. *)
+
+val conit_value : t -> string -> float
+(** Observed conit value: accumulated nweight over all known writes. *)
+
+val committed_conit_value : t -> string -> float
+
+val outcome : t -> Write.id -> Op.outcome option
+(** Latest (tentative or committed) application outcome of a known write. *)
+
+val final_outcome : t -> Write.id -> Op.outcome option
+(** Outcome under the committed order; [None] until the write commits. *)
+
+val rollbacks : t -> int
+(** Number of rollback/reapply episodes (a cost metric). *)
+
+(** {2 Log truncation and snapshots}
+
+    A long-lived replica cannot retain every committed write.  Truncation
+    discards the oldest part of the committed prefix; once writes have been
+    discarded, anti-entropy can no longer assemble a diff for a peer that is
+    missing them, and must fall back to installing a {e snapshot}: the
+    committed database image together with the vector of writes it reflects.
+    Because the committed order covers a per-origin prefix of each origin's
+    sequence (stability commits in timestamp order; the primary assigns CSNs
+    in per-origin FIFO order), the committed prefix is always describable by
+    a version vector. *)
+
+type snapshot = {
+  snap_db : Db.t;  (** the committed image (a private copy) *)
+  snap_vector : Version_vector.t;  (** writes reflected in it *)
+  snap_ncommitted : int;
+  snap_values : (string * float) list;  (** committed conit values *)
+}
+
+val truncate : t -> keep:int -> int
+(** Discard all but the newest [keep] committed writes; returns how many were
+    discarded.  Discarded writes can no longer be served to peers. *)
+
+val retained : t -> int
+(** Committed writes still held in the log. *)
+
+val can_serve : t -> Version_vector.t -> bool
+(** Can a write-by-write diff against the given peer vector still be
+    assembled, or have needed writes been truncated away? *)
+
+val snapshot : t -> snapshot
+(** Capture the current committed state for a full-state transfer. *)
+
+val install_snapshot : t -> snapshot -> bool
+(** Replace the committed state with the snapshot's if it is strictly ahead
+    (its vector dominates the local committed vector); local writes the
+    snapshot already covers are dropped (their final outcomes were computed
+    remotely and are not recoverable locally), the rest of the tentative
+    suffix is replayed on top.  Returns false (and does nothing) if the local
+    committed state is not behind the snapshot. *)
+
+val committed_vector : t -> Version_vector.t
+(** The vector describing the committed prefix (do not mutate). *)

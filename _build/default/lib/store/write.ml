@@ -1,0 +1,40 @@
+type id = { origin : int; seq : int }
+
+type weight = { conit : string; nweight : float; oweight : float }
+
+type t = { id : id; accept_time : float; op : Op.t; affects : weight list }
+
+let compare_id a b =
+  match Stdlib.compare a.origin b.origin with
+  | 0 -> Stdlib.compare a.seq b.seq
+  | c -> c
+
+let id_to_string id = Printf.sprintf "w%d.%d" id.origin id.seq
+
+let ts_compare a b =
+  match Stdlib.compare a.accept_time b.accept_time with
+  | 0 -> compare_id a.id b.id
+  | c -> c
+
+let weight_for w conit = List.find_opt (fun x -> String.equal x.conit conit) w.affects
+
+let affects_conit w conit =
+  match weight_for w conit with
+  | Some x -> x.nweight <> 0.0 || x.oweight <> 0.0
+  | None -> false
+
+let nweight w conit =
+  match weight_for w conit with Some x -> x.nweight | None -> 0.0
+
+let oweight w conit =
+  match weight_for w conit with Some x -> x.oweight | None -> 0.0
+
+let total_oweight w = List.fold_left (fun acc x -> acc +. x.oweight) 0.0 w.affects
+
+let byte_size w =
+  (* id + timestamp + per-weight entry overhead + op payload *)
+  24 + Op.byte_size w.op
+  + List.fold_left (fun acc x -> acc + 16 + String.length x.conit) 0 w.affects
+
+let to_string w =
+  Printf.sprintf "%s@%.3f %s" (id_to_string w.id) w.accept_time (Op.describe w.op)

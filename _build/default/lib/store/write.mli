@@ -1,0 +1,43 @@
+(** Write records: an operation plus the conit weight specification.
+
+    This is the unit that anti-entropy propagates between replicas (the paper
+    propagates write {e procedures}, not written data).  [affects] is the
+    per-write weight specification of Section 3.4: how the write bears on each
+    conit's numerical value ([nweight]) and on order sensitivity
+    ([oweight]). *)
+
+type id = { origin : int; seq : int }
+
+type weight = { conit : string; nweight : float; oweight : float }
+
+type t = {
+  id : id;
+  accept_time : float;
+      (** wall-clock (simulated) time at which the originating replica
+          accepted the write; the basis of staleness and of the canonical
+          ECG order *)
+  op : Op.t;
+  affects : weight list;
+}
+
+val compare_id : id -> id -> int
+val id_to_string : id -> string
+
+val ts_compare : t -> t -> int
+(** Total order by (accept_time, origin, seq) — the canonical, external- and
+    causal-order-compatible global order used both by the stability
+    commitment protocol and as the reference ECG history. *)
+
+val affects_conit : t -> string -> bool
+(** A write affects a conit iff its nweight or oweight for it is non-zero
+    (Section 3.2). *)
+
+val nweight : t -> string -> float
+val oweight : t -> string -> float
+
+val total_oweight : t -> float
+(** Sum of oweights across all affected conits (used when a single commitment
+    order serves every conit). *)
+
+val byte_size : t -> int
+val to_string : t -> string

@@ -1,0 +1,42 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable n : int;
+}
+
+let create ~lo ~hi ~buckets =
+  assert (buckets > 0 && hi > lo);
+  { lo; hi; counts = Array.make buckets 0; n = 0 }
+
+let bucket_of t x =
+  let k = Array.length t.counts in
+  let i = int_of_float (float_of_int k *. ((x -. t.lo) /. (t.hi -. t.lo))) in
+  if i < 0 then 0 else if i >= k then k - 1 else i
+
+let add t x =
+  t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+  t.n <- t.n + 1
+
+let count t = t.n
+let bucket_counts t = Array.copy t.counts
+
+let bucket_bounds t =
+  let k = Array.length t.counts in
+  let w = (t.hi -. t.lo) /. float_of_int k in
+  Array.init k (fun i ->
+      (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w)))
+
+let render ?(width = 50) t =
+  let bounds = bucket_bounds t in
+  let peak = Array.fold_left Stdlib.max 1 t.counts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bounds.(i) in
+        let bar = String.make (c * width / peak) '#' in
+        Buffer.add_string buf (Printf.sprintf "[%8.3g, %8.3g) %6d %s\n" lo hi c bar)
+      end)
+    t.counts;
+  Buffer.contents buf

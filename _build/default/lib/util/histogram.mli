@@ -1,0 +1,15 @@
+(** Fixed-bucket histograms for latency / error distributions. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** Uniform buckets over [lo, hi); observations outside the range are counted
+    in saturating end buckets. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bucket_counts : t -> int array
+val bucket_bounds : t -> (float * float) array
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one line per non-empty bucket. *)

@@ -1,0 +1,52 @@
+let glyphs = [| 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g'; 'h' |]
+
+let series ?(height = 16) ?(width = 64) ~title named =
+  let pts = List.concat_map snd named in
+  match pts with
+  | [] -> Printf.sprintf "== %s == (no data)\n" title
+  | _ ->
+    let xs = List.map fst pts and ys = List.map snd pts in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let xmin = fmin xs and xmax = fmax xs in
+    let ymin = min 0.0 (fmin ys) and ymax = fmax ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let g = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let col = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+            let row = int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1)) in
+            let row = height - 1 - row in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- g)
+          pts)
+      named;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+    Array.iteri
+      (fun r line ->
+        let label =
+          if r = 0 then Printf.sprintf "%10.3g |" ymax
+          else if r = height - 1 then Printf.sprintf "%10.3g |" ymin
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    let xlo = Printf.sprintf "%.3g" xmin and xhi = Printf.sprintf "%.3g" xmax in
+    let gap = max 1 (width - String.length xlo - String.length xhi) in
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %s%s%s\n" "" xlo (String.make gap ' ') xhi);
+    Buffer.add_string buf "legend: ";
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%c=%s " glyphs.(si mod Array.length glyphs) name))
+      named;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf

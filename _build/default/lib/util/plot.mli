@@ -1,0 +1,8 @@
+(** Minimal ASCII scatter/line plots so that "figure" experiments can render a
+    visual shape alongside their numeric table. *)
+
+val series :
+  ?height:int -> ?width:int -> title:string -> (string * (float * float) list) list -> string
+(** [series ~title named_series] renders the given (x, y) series on shared
+    axes.  Each series is drawn with its own glyph (a, b, c, ...); a legend
+    line maps glyphs to names.  Axes are linear and auto-scaled. *)

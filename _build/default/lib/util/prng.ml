@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 finaliser (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free modulo is fine for simulation: bias is < 2^-40 for the
+     ranges in use (n <= 2^20). *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let float t x =
+  (* 53 random bits mapped to [0, 1). *)
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (u /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = float t 1.0 in
+  (* 1 - u is in (0, 1], so log is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let uniform_in t ~lo ~hi = lo +. float t (hi -. lo)
+
+(* Cache of Zipf normalisation constants, keyed on (n, theta). *)
+let zipf_cache : (int * float, float) Hashtbl.t = Hashtbl.create 7
+
+let zipf_norm n theta =
+  match Hashtbl.find_opt zipf_cache (n, theta) with
+  | Some z -> z
+  | None ->
+    let z = ref 0.0 in
+    for i = 1 to n do
+      z := !z +. (1.0 /. (float_of_int i ** theta))
+    done;
+    Hashtbl.replace zipf_cache (n, theta) !z;
+    !z
+
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if theta <= 0.0 then int t n
+  else begin
+    let z = zipf_norm n theta in
+    let u = float t 1.0 *. z in
+    let rec find i acc =
+      if i > n then n - 1
+      else
+        let acc = acc +. (1.0 /. (float_of_int i ** theta)) in
+        if acc >= u then i - 1 else find (i + 1) acc
+    in
+    find 1 0.0
+  end
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

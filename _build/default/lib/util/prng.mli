@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the reproduction (workload generators,
+    network jitter, failure injection) draws from an explicit [Prng.t] so that
+    a simulation run is a pure function of its seed.  The generator is
+    splitmix64: fast, high quality for simulation purposes, and splittable so
+    that independent subsystems can be given statistically independent streams
+    derived from one master seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of the
+    remainder of [t]'s stream.  [t] itself advances by one step. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1].  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed variate; used for Poisson inter-arrival
+    times.  Requires [mean > 0]. *)
+
+val uniform_in : t -> lo:float -> hi:float -> float
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] draws from a Zipf distribution over [0, n-1] with skew
+    [theta] (0 = uniform; typical web skew 0.8–1.0).  Uses the standard
+    rejection-free inverse method with precomputation amortised per call; for
+    the sizes used here (n <= 10^5) the direct harmonic computation is cached
+    keyed on [(n, theta)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,40 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.columns);
+  t.rows <- row :: t.rows
+
+let cell_f x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4g" x
+
+let add_rowf t row = add_row t (List.map cell_f row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Aligned ASCII tables — every experiment prints its paper table/figure rows
+    through this module so that bench output is uniform and diffable. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows must have the same arity as [columns]. *)
+
+val add_rowf : t -> float list -> unit
+(** Convenience: formats each float with [%.4g]. *)
+
+val render : t -> string
+(** Render with a title line, a header, a separator, and aligned columns. *)
+
+val cell_f : float -> string
+(** The standard float cell format ([%.4g]), exposed for mixed rows. *)

@@ -1,0 +1,46 @@
+type event = { time : float; source : string; kind : string; detail : string }
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (** total events recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { buf = Array.make capacity None; next = 0 }
+
+let record t ~time ~source ~kind detail =
+  t.buf.(t.next mod Array.length t.buf) <- Some { time; source; kind; detail };
+  t.next <- t.next + 1
+
+let count t = t.next
+
+let events t =
+  let cap = Array.length t.buf in
+  let start = if t.next > cap then t.next - cap else 0 in
+  let out = ref [] in
+  for i = t.next - 1 downto start do
+    match t.buf.(i mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let render ?last t =
+  let evs = events t in
+  let evs =
+    match last with
+    | None -> evs
+    | Some k ->
+      let n = List.length evs in
+      List.filteri (fun i _ -> i >= n - k) evs
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "[%9.4f] %-12s %-10s %s\n" e.time e.source e.kind e.detail))
+    evs;
+  Buffer.contents buf
+
+let find t ~kind = List.filter (fun e -> String.equal e.kind kind) (events t)

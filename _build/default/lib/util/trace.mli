@@ -1,0 +1,33 @@
+(** Lightweight structured event tracing.
+
+    A bounded ring buffer of timestamped events.  Subsystems record what they
+    do (writes accepted, transfers sent/received, commits, accesses blocked
+    and served, snapshots installed); tests and the CLI render the tail to
+    understand a run.  A [None] trace costs nothing — producers guard on the
+    option. *)
+
+type t
+
+type event = {
+  time : float;
+  source : string;  (** e.g. "replica 2" *)
+  kind : string;  (** e.g. "accept", "transfer", "commit", "blocked" *)
+  detail : string;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; default capacity 4096 events (oldest overwritten). *)
+
+val record : t -> time:float -> source:string -> kind:string -> string -> unit
+
+val count : t -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val render : ?last:int -> t -> string
+(** Human-readable tail of the trace (default: everything retained). *)
+
+val find : t -> kind:string -> event list
+(** Retained events of one kind, oldest first. *)

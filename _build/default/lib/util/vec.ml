@@ -1,0 +1,29 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let ncap = if t.len = 0 then 16 else t.len * 2 in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let sub_list t ~pos =
+  let pos = if pos < 0 then 0 else pos in
+  if pos >= t.len then [] else List.init (t.len - pos) (fun i -> t.data.(pos + i))

@@ -1,0 +1,13 @@
+(** Minimal growable array (OCaml 5.1 predates stdlib [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val push : 'a t -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+
+val sub_list : 'a t -> pos:int -> 'a list
+(** Elements from index [pos] (clamped) to the end, in order. *)

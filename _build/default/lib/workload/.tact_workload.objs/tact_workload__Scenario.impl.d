@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Db Float List Replica System Tact_core Tact_replica Tact_sim Tact_store Write

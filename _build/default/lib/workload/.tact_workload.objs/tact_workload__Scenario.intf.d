@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Tact_core Tact_replica Tact_store

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Engine Tact_sim Tact_util

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Tact_sim Tact_util

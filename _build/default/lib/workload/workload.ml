@@ -1,0 +1,28 @@
+open Tact_sim
+
+let poisson engine ~rng ~rate ~until f =
+  assert (rate > 0.0);
+  let rec next () =
+    let gap = Tact_util.Prng.exponential rng ~mean:(1.0 /. rate) in
+    let at = Engine.now engine +. gap in
+    if at <= until then
+      Engine.schedule engine ~delay:gap (fun () ->
+          f ();
+          next ())
+  in
+  next ()
+
+let uniform_times engine ~rng ~count ~until f =
+  let base = Engine.now engine in
+  for _ = 1 to count do
+    let at = Tact_util.Prng.uniform_in rng ~lo:base ~hi:until in
+    Engine.schedule engine ~delay:(at -. base) f
+  done
+
+let staggered engine ~start ~gap ~count f =
+  let base = Engine.now engine in
+  for i = 0 to count - 1 do
+    Engine.schedule engine
+      ~delay:(start -. base +. (gap *. float_of_int i))
+      (fun () -> f i)
+  done

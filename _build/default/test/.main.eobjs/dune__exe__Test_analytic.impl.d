@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Analytic Config Engine Float Op Printf Replica System Tact_core Tact_experiments Tact_replica Tact_sim Tact_store Tact_workload Topology Value Write

@@ -1,0 +1,1 @@
+test/test_core_model.ml: Access Alcotest Bounds Conit Ecg Float List Metrics Op QCheck QCheck_alcotest Tact_core Tact_experiments Tact_store Tact_util Value Version_vector Write

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bounds Config Conit Db Engine Float Net Op Replica System Tact_core Tact_replica Tact_sim Tact_store Topology Wlog Write

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Bounds Config Conit Db Engine Float List Net Op Printf Replica System Tact_core Tact_protocols Tact_replica Tact_sim Tact_store Topology Value Verify Wlog Write

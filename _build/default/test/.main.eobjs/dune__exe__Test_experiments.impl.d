@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest E01_fig4 E02_extremes E09_models E11_budget E12_commit List Printf Registry String Tact_apps Tact_core Tact_experiments

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Budget Csn_buffer Float Gen List QCheck QCheck_alcotest Tact_protocols Tact_store Tact_util

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Config Float List Monitor Op Scenario System Tact_core Tact_replica Tact_sim Tact_store Tact_workload Topology Value Verify

@@ -1,0 +1,1 @@
+test/test_sessions.ml: Alcotest Config Db Engine Float List Op QCheck QCheck_alcotest Replica Session System Tact_replica Tact_sim Tact_store Tact_util Topology Value Verify Version_vector Wlog Write

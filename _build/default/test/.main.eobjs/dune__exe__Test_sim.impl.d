@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Float Heap List Net QCheck QCheck_alcotest Tact_sim Tact_util Topology

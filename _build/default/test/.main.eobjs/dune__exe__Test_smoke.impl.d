@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Bounds Config Conit Db Engine Op Printf Replica System Tact_core Tact_replica Tact_sim Tact_store Topology Value Verify Wlog Write

@@ -1,0 +1,1 @@
+test/test_spec.ml: Access Alcotest Bounds Config Db Float List Op Session Spec System Tact_core Tact_replica Tact_sim Tact_store Topology Value Write

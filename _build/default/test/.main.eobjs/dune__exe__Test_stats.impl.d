@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Histogram List Plot Prng Stats String Table Tact_util Vec

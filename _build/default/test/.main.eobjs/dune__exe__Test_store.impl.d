@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Db Float List Op QCheck QCheck_alcotest String Tact_store Value Version_vector Write

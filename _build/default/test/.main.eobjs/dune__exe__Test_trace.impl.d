@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Config Engine List Op Replica String System Tact_replica Tact_sim Tact_store Tact_util Topology Trace Write

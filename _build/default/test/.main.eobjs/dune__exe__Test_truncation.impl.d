@@ -1,0 +1,1 @@
+test/test_truncation.ml: Alcotest Config Db Engine Float List Net Op Replica System Tact_replica Tact_sim Tact_store Topology Version_vector Wlog Write

@@ -1,0 +1,1 @@
+test/test_verify.ml: Access Alcotest Bounds Config Conit Db Engine Float List Op Replica System Tact_core Tact_replica Tact_sim Tact_store Topology Verify Write

@@ -1,0 +1,1 @@
+test/test_wlog.ml: Alcotest Array Db Float List Op Printf QCheck QCheck_alcotest Tact_store Tact_util Value Version_vector Wlog Write

@@ -1,0 +1,1 @@
+test/test_wlog_model.ml: Array Db Float List Op QCheck QCheck_alcotest Tact_store Tact_util Wlog Write

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "tact"
+    [
+      ("prng", Test_prng.suite);
+      ("stats-util", Test_stats.suite);
+      ("sim", Test_sim.suite);
+      ("store", Test_store.suite);
+      ("wlog", Test_wlog.suite);
+      ("wlog-model", Test_wlog_model.suite);
+      ("codec", Test_codec.suite);
+      ("core-model", Test_core_model.suite);
+      ("protocols", Test_protocols.suite);
+      ("replica", Test_replica.suite);
+      ("truncation", Test_truncation.suite);
+      ("sessions", Test_sessions.suite);
+      ("crash", Test_crash.suite);
+      ("trace", Test_trace.suite);
+      ("analytic", Test_analytic.suite);
+      ("edge", Test_edge.suite);
+      ("scenario", Test_scenario.suite);
+      ("spec", Test_spec.suite);
+      ("verify", Test_verify.suite);
+      ("soak", Test_soak.suite);
+      ("models", Test_models.suite);
+      ("apps", Test_apps.suite);
+      ("experiments", Test_experiments.suite);
+      ("smoke", Test_smoke.suite);
+    ]

@@ -1,0 +1,87 @@
+(* Closed-form cost models vs simulation. *)
+
+open Tact_experiments
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_formulas () =
+  Alcotest.(check bool) "even share" true (feq (Analytic.even_share ~bound:9.0 ~n:4) 3.0);
+  Alcotest.(check bool) "pushes per write" true
+    (feq (Analytic.pushes_per_write ~bound:9.0 ~n:4 ~weight:1.0) 1.0);
+  Alcotest.(check bool) "eager ceiling" true
+    (feq (Analytic.pushes_per_write ~bound:1.0 ~n:4 ~weight:1.0) 3.0);
+  Alcotest.(check bool) "infinite bound free" true
+    (feq (Analytic.pushes_per_write ~bound:infinity ~n:4 ~weight:1.0) 0.0);
+  Alcotest.(check int) "pull round msgs" 6 (Analytic.pull_round_msgs ~n:4);
+  Alcotest.(check bool) "pull latency = RTT" true
+    (feq (Analytic.pull_read_latency ~n:4 ~one_way:0.04) 0.08);
+  Alcotest.(check bool) "conflict prob clamps" true
+    (feq (Analytic.conflict_probability ~rel_ne:3.0) 1.0)
+
+(* The simulated budget-push count should match the first-order model within
+   a factor of ~2 (batching makes the sim cheaper, retries costlier). *)
+let test_push_model_vs_sim () =
+  let open Tact_sim in
+  let open Tact_store in
+  let open Tact_replica in
+  let n = 4 and bound = 6.0 and writes = 60 in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Tact_core.Conit.declare ~ne_bound:bound "c" ];
+      antientropy_period = None;
+    }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n ~latency:0.03 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  (* A single writer, spaced writes (no batching interference). *)
+  Tact_workload.Workload.staggered engine ~start:0.5 ~gap:0.5 ~count:writes
+    (fun _ ->
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 0.0 } ]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  System.run ~until:120.0 sys;
+  let predicted =
+    Analytic.pushes_per_write ~bound ~n ~weight:1.0 *. float_of_int writes
+  in
+  let measured = float_of_int (System.total_stats sys).Replica.pushes_budget in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f vs predicted %.0f" measured predicted)
+    true
+    (measured >= predicted /. 2.0 && measured <= predicted *. 2.0)
+
+let test_pull_latency_model_vs_sim () =
+  let open Tact_sim in
+  let open Tact_store in
+  let open Tact_replica in
+  let one_way = 0.05 in
+  let config = { Config.default with Config.conits = [ Tact_core.Conit.declare "c" ] } in
+  let sys =
+    System.create ~jitter:0.0
+      ~topology:(Topology.uniform ~n:4 ~latency:one_way ~bandwidth:1e9)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let lat = ref nan in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      let t0 = Engine.now engine in
+      Replica.submit_read (System.replica sys 0)
+        ~deps:[ ("c", Tact_core.Bounds.make ~ne:0.0 ()) ]
+        ~f:(fun _ -> Value.Nil)
+        ~k:(fun _ -> lat := Engine.now engine -. t0));
+  System.run ~until:30.0 sys;
+  let predicted = Analytic.pull_read_latency ~n:4 ~one_way in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f ~ predicted %.4f" !lat predicted)
+    true
+    (Float.abs (!lat -. predicted) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "formulas" `Quick test_formulas;
+    Alcotest.test_case "push model vs sim" `Quick test_push_model_vs_sim;
+    Alcotest.test_case "pull latency model vs sim" `Quick test_pull_latency_model_vs_sim;
+  ]

@@ -1,0 +1,241 @@
+(* The binary codec: hand cases, property round trips, corruption handling,
+   durable snapshots. *)
+
+open Tact_store
+
+let feq a b = Float.abs (a -. b) < 1e-12
+
+(* --- Value round trips ------------------------------------------------- *)
+
+let value_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n = 0 then
+            oneof
+              [ return Value.Nil;
+                map (fun i -> Value.Int i) int;
+                map (fun f -> Value.Float f) float;
+                map (fun s -> Value.Str s) string_small ]
+          else
+            frequency
+              [ (3, self 0);
+                (1, map (fun l -> Value.List l) (list_size (int_bound 5) (self (n / 2)))) ])
+        (min size 8))
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let test_value_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"value round trip" ~count:500 value_arb (fun v ->
+         let buf = Buffer.create 64 in
+         Codec.encode_value buf v;
+         let c = Codec.cursor (Buffer.contents buf) in
+         let v' = Codec.decode_value c in
+         Value.equal v v' && c.Codec.pos = String.length c.Codec.data))
+
+let test_value_nan_roundtrip () =
+  let buf = Buffer.create 16 in
+  Codec.encode_value buf (Value.Float Float.nan);
+  match Codec.decode_value (Codec.cursor (Buffer.contents buf)) with
+  | Value.Float f -> Alcotest.(check bool) "nan preserved" true (Float.is_nan f)
+  | _ -> Alcotest.fail "wrong shape"
+
+(* --- Op round trips ------------------------------------------------------ *)
+
+let test_op_roundtrip () =
+  List.iter
+    (fun op ->
+      let buf = Buffer.create 64 in
+      Codec.encode_op buf op;
+      let op' = Codec.decode_op (Codec.cursor (Buffer.contents buf)) in
+      Alcotest.(check string) "op round trip" (Op.describe op) (Op.describe op'))
+    [ Op.Noop; Op.Set ("k", Value.Int 3); Op.Add ("k", -2.5);
+      Op.Append ("k", Value.Str "x"); Op.Named ("reserve", Value.Int 7) ]
+
+let test_proc_unserializable () =
+  let proc = Op.guarded ~name:"g" ~check:(fun _ -> true) ~apply:(fun _ -> Value.Nil) () in
+  Alcotest.(check bool) "closure refused" true
+    (try
+       Codec.encode_op (Buffer.create 8) proc;
+       false
+     with Codec.Unserializable _ -> true)
+
+let test_named_proc_applies () =
+  Op.register_proc "test.incr_by" (fun arg db ->
+      Db.add db "n" (Value.to_float arg);
+      Op.Applied (Db.get db "n"));
+  let db = Db.create [] in
+  (match Op.apply (Op.Named ("test.incr_by", Value.Float 4.0)) db with
+  | Op.Applied v -> Alcotest.(check bool) "applied" true (feq (Value.to_float v) 4.0)
+  | Op.Conflict _ -> Alcotest.fail "conflicted");
+  Alcotest.(check bool) "registered" true (Op.proc_registered "test.incr_by");
+  Alcotest.(check bool) "unregistered raises" true
+    (try
+       ignore (Op.apply (Op.Named ("test.nope", Value.Nil)) db);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Write round trips ------------------------------------------------- *)
+
+let write_gen =
+  QCheck.Gen.(
+    map
+      (fun (origin, seq, t, weights) ->
+        {
+          Write.id = { origin; seq = seq + 1 };
+          accept_time = t;
+          op = Op.Add ("x", 1.0);
+          affects =
+            List.map
+              (fun (c, nw, ow) -> { Write.conit = "c" ^ string_of_int c; nweight = nw; oweight = ow })
+              weights;
+        })
+      (quad (int_bound 7) (int_bound 1000)
+         (float_bound_exclusive 1e6)
+         (list_size (int_bound 4) (triple (int_bound 9) float float))))
+
+let test_write_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"write round trip" ~count:300
+       (QCheck.make ~print:Write.to_string write_gen)
+       (fun w ->
+         let w' = Codec.write_of_string (Codec.write_to_string w) in
+         w'.Write.id = w.Write.id
+         && w'.Write.accept_time = w.Write.accept_time
+         && List.length w'.Write.affects = List.length w.Write.affects
+         && List.for_all2
+              (fun (a : Write.weight) (b : Write.weight) ->
+                a.conit = b.conit
+                && a.nweight = b.nweight
+                && a.oweight = b.oweight)
+              w.Write.affects w'.Write.affects))
+
+(* --- Vectors -------------------------------------------------------------- *)
+
+let test_vector_roundtrip () =
+  let v = Version_vector.create 5 in
+  Version_vector.set v 0 3;
+  Version_vector.set v 4 99;
+  let buf = Buffer.create 64 in
+  Codec.encode_vector buf v;
+  let v' = Codec.decode_vector (Codec.cursor (Buffer.contents buf)) in
+  Alcotest.(check bool) "equal" true (Version_vector.equal v v')
+
+(* --- Corruption handling --------------------------------------------------- *)
+
+let test_malformed_rejected () =
+  let reject s =
+    try
+      ignore (Codec.decode_value (Codec.cursor s));
+      false
+    with Codec.Malformed _ -> true
+  in
+  Alcotest.(check bool) "empty" true (reject "");
+  Alcotest.(check bool) "bad tag" true (reject "\xff");
+  Alcotest.(check bool) "truncated int" true (reject "\x01\x00\x00");
+  (* A list claiming a negative length. *)
+  let buf = Buffer.create 16 in
+  Codec.encode_value buf (Value.List [ Value.Int 1 ]);
+  let s = Buffer.contents buf in
+  let corrupted = "\x04\xff\xff\xff\xff\xff\xff\xff\xff" ^ String.sub s 9 (String.length s - 9) in
+  Alcotest.(check bool) "negative length" true (reject corrupted)
+
+(* --- Snapshots to disk ------------------------------------------------------ *)
+
+let test_snapshot_file_roundtrip () =
+  (* Build a real snapshot from a log. *)
+  let log = Wlog.create ~replicas:2 ~initial:[ ("greet", Value.Str "hi") ] in
+  for seq = 1 to 5 do
+    ignore
+      (Wlog.accept log
+         {
+           Write.id = { origin = 0; seq };
+           accept_time = float_of_int seq;
+           op = Op.Add ("x", 2.0);
+           affects = [ { Write.conit = "c"; nweight = 2.0; oweight = 1.0 } ];
+         })
+  done;
+  ignore (Wlog.commit_stable log ~cover:[| infinity; infinity |]);
+  let snap = Wlog.snapshot log in
+  let path = Filename.temp_file "tact_snap" ".bin" in
+  Codec.save_snapshot ~path snap;
+  let snap' = Codec.load_snapshot ~path in
+  Sys.remove path;
+  Alcotest.(check int) "ncommitted" snap.Wlog.snap_ncommitted snap'.Wlog.snap_ncommitted;
+  Alcotest.(check bool) "vector" true
+    (Version_vector.equal snap.Wlog.snap_vector snap'.Wlog.snap_vector);
+  Alcotest.(check bool) "db" true (Db.equal snap.Wlog.snap_db snap'.Wlog.snap_db);
+  (* And a fresh log can install the reloaded snapshot. *)
+  let dst = Wlog.create ~replicas:2 ~initial:[] in
+  Alcotest.(check bool) "installable" true (Wlog.install_snapshot dst snap');
+  Alcotest.(check bool) "state restored" true
+    (feq (Db.get_float (Wlog.db dst) "x") 10.0)
+
+let test_snapshot_bad_magic () =
+  let path = Filename.temp_file "tact_snap" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc "NOTASNAPSHOT";
+  close_out oc;
+  let rejected =
+    try
+      ignore (Codec.load_snapshot ~path);
+      false
+    with Codec.Malformed _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "bad magic rejected" true rejected
+
+let base_suite =
+  [
+    test_value_roundtrip;
+    Alcotest.test_case "value nan" `Quick test_value_nan_roundtrip;
+    Alcotest.test_case "op round trip" `Quick test_op_roundtrip;
+    Alcotest.test_case "proc unserializable" `Quick test_proc_unserializable;
+    Alcotest.test_case "named proc applies" `Quick test_named_proc_applies;
+    test_write_roundtrip;
+    Alcotest.test_case "vector round trip" `Quick test_vector_roundtrip;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+    Alcotest.test_case "snapshot file round trip" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "snapshot bad magic" `Quick test_snapshot_bad_magic;
+  ]
+
+(* A whole system whose operations are all Named (wire-serialisable): it
+   behaves identically, and every accepted write round-trips the codec. *)
+let test_fully_serialisable_system () =
+  let open Tact_sim in
+  let open Tact_replica in
+  Op.register_proc "codec.bump" (fun arg db ->
+      Db.add db "x" (Value.to_float arg);
+      Op.Applied (Db.get db "x"));
+  let sys =
+    System.create
+      ~topology:(Topology.uniform ~n:3 ~latency:0.03 ~bandwidth:1e6)
+      ~config:{ Config.default with Config.antientropy_period = Some 0.5 }
+      ()
+  in
+  let engine = System.engine sys in
+  for k = 1 to 9 do
+    Engine.schedule engine
+      ~delay:(0.3 *. float_of_int k)
+      (fun () ->
+        Replica.submit_write (System.replica sys (k mod 3)) ~deps:[]
+          ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Named ("codec.bump", Value.Float 1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "converged" true (System.converged sys);
+  Alcotest.(check bool) "value" true
+    (feq (Db.get_float (Replica.db (System.replica sys 0)) "x") 9.0);
+  List.iter
+    (fun (w : Write.t) ->
+      let w' = Codec.write_of_string (Codec.write_to_string w) in
+      Alcotest.(check bool) "write round-trips" true (w'.Write.id = w.Write.id))
+    (System.all_writes sys)
+
+let system_suite =
+  [ Alcotest.test_case "fully serialisable system" `Quick test_fully_serialisable_system ]
+
+let suite = base_suite @ system_suite

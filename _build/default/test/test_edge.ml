@@ -1,0 +1,309 @@
+(* Edge cases across the stack: degenerate systems, simultaneous timestamps,
+   extreme weights, alternative topologies, adversarial timing. *)
+
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
+
+(* --- Degenerate systems -------------------------------------------------- *)
+
+let test_single_replica_strong_is_free () =
+  let config =
+    { Config.default with Config.conits = [ Conit.declare ~ne_bound:0.0 "c" ] }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:1 ~latency:0.0 ~bandwidth:1e6)
+      ~config ()
+  in
+  let r = System.replica sys 0 in
+  let served = ref false in
+  Replica.submit_write r ~deps:[ ("c", Bounds.strong) ] ~affects:[ unit_w "c" ]
+    ~op:(Op.Add ("x", 1.0))
+    ~k:(fun _ ->
+      Replica.submit_read r ~deps:[ ("c", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun v ->
+          served := true;
+          Alcotest.(check bool) "sees own write" true (feq (Value.to_float v) 1.0)));
+  System.run ~until:10.0 sys;
+  Alcotest.(check bool) "served instantly" true !served;
+  Alcotest.(check int) "no network traffic" 0 (System.traffic sys).Net.messages;
+  Alcotest.(check bool) "no violations" true (Verify.check ~lcp:true sys = [])
+
+let test_empty_workload () =
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.04 ~bandwidth:1e6)
+      ~config:{ Config.default with Config.antientropy_period = Some 1.0 }
+      ()
+  in
+  System.run ~until:10.0 sys;
+  Alcotest.(check int) "no writes" 0 (System.write_count sys);
+  Alcotest.(check bool) "trivially converged" true (System.converged sys);
+  Alcotest.(check bool) "gossip still flowed" true ((System.traffic sys).Net.messages > 0)
+
+let test_zero_latency_network () =
+  let config = { Config.default with Config.conits = [ Conit.declare "c" ] } in
+  let sys =
+    System.create ~jitter:0.0
+      ~topology:(Topology.uniform ~n:3 ~latency:0.0 ~bandwidth:1e12)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let served = ref false in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[] ~affects:[ unit_w "c" ]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Replica.submit_read (System.replica sys 1)
+        ~deps:[ ("c", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun v ->
+          served := true;
+          Alcotest.(check bool) "strong read over zero-latency net" true
+            (feq (Value.to_float v) 1.0)));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "served" true !served;
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+(* --- Simultaneous accept times ------------------------------------------- *)
+
+let test_simultaneous_writes_tiebreak () =
+  (* All writes at the exact same instant: the canonical order tie-breaks by
+     origin, every replica converges to the same order, and stability's
+     strict tie-break never commits prematurely. *)
+  let config = { Config.default with Config.antientropy_period = Some 0.5 } in
+  let sys =
+    System.create ~jitter:0.0
+      ~topology:(Topology.uniform ~n:3 ~latency:0.01 ~bandwidth:1e9)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  for i = 0 to 2 do
+    Engine.schedule engine ~delay:1.0 (fun () ->
+        Replica.submit_write (System.replica sys i) ~deps:[]
+          ~affects:[ unit_w "c" ]
+          ~op:(Op.Append ("log", Value.Int i))
+          ~k:ignore)
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "converged" true (System.converged sys);
+  let committed r =
+    List.map
+      (fun (w : Write.t) -> w.Write.id.Write.origin)
+      (Wlog.committed (Replica.log (System.replica sys r)))
+  in
+  Alcotest.(check (list int)) "origin order under ties" [ 0; 1; 2 ] (committed 0);
+  Alcotest.(check bool) "same everywhere" true
+    (committed 0 = committed 1 && committed 1 = committed 2)
+
+(* --- Extreme weights ------------------------------------------------------- *)
+
+let test_zero_weight_write_ignores_budget () =
+  (* A write with zero weight on a zero-bound conit returns immediately: it
+     does not affect the conit at all (Section 3.2's definition). *)
+  let config =
+    { Config.default with Config.conits = [ Conit.declare ~ne_bound:0.0 "c" ] }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.05 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let returned_at = ref nan in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ { Write.conit = "c"; nweight = 0.0; oweight = 0.0 } ]
+        ~op:(Op.Add ("x", 1.0))
+        ~k:(fun _ -> returned_at := Engine.now engine));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "returned without pushing" true (feq !returned_at 1.0)
+
+let test_huge_weight_write_pushes_eagerly () =
+  let config =
+    { Config.default with Config.conits = [ Conit.declare ~ne_bound:10.0 "c" ] }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.05 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let returned_at = ref nan in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      (* Weight 100 >> share 5: must push to everyone and await acks. *)
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ { Write.conit = "c"; nweight = 100.0; oweight = 0.0 } ]
+        ~op:(Op.Add ("x", 100.0))
+        ~k:(fun _ -> returned_at := Engine.now engine));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "waited for acks (a round trip)" true (!returned_at > 1.05);
+  Alcotest.(check bool) "eventually returned" true (not (Float.is_nan !returned_at))
+
+let test_negative_weights_count_absolutely () =
+  (* Decrements consume the budget like increments: |nweight|. *)
+  let config =
+    { Config.default with Config.conits = [ Conit.declare ~ne_bound:4.0 "c" ] }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:2 ~latency:0.05 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  for k = 1 to 10 do
+    Engine.schedule engine
+      ~delay:(float_of_int k)
+      (fun () ->
+        Replica.submit_write (System.replica sys 0) ~deps:[]
+          ~affects:[ { Write.conit = "c"; nweight = -1.0; oweight = 0.0 } ]
+          ~op:(Op.Add ("x", -1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "pushes happened for decrements" true
+    ((System.total_stats sys).Replica.pushes_budget > 0);
+  (* Replica 1's view is never more than 4 decrements behind. *)
+  Alcotest.(check bool) "bound held" true
+    (Float.abs
+       (Wlog.conit_value (Replica.log (System.replica sys 1)) "c"
+       -. Wlog.conit_value (Replica.log (System.replica sys 0)) "c")
+    <= 4.0 +. 1e-9)
+
+(* --- Alternative topologies ------------------------------------------------ *)
+
+let test_clustered_topology_end_to_end () =
+  let topology =
+    Topology.clustered ~clusters:2 ~per_cluster:2 ~local:0.002 ~wan:0.1
+      ~bandwidth:1e6
+  in
+  let config = { Config.default with Config.antientropy_period = Some 0.5 } in
+  let sys = System.create ~topology ~config () in
+  let engine = System.engine sys in
+  for i = 0 to 3 do
+    Engine.schedule engine
+      ~delay:(0.5 +. (0.25 *. float_of_int i))
+      (fun () ->
+        Replica.submit_write (System.replica sys i) ~deps:[] ~affects:[ unit_w "c" ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "clustered converges" true (System.converged sys);
+  Alcotest.(check int) "all committed" 4
+    (Wlog.committed_count (Replica.log (System.replica sys 0)))
+
+let test_star_topology_end_to_end () =
+  let topology = Topology.star ~n:4 ~spoke:0.05 ~bandwidth:1e6 in
+  let config =
+    {
+      Config.default with
+      Config.commit_scheme = Config.Primary 0;
+      antientropy_period = Some 0.5;
+    }
+  in
+  let sys = System.create ~topology ~config () in
+  let engine = System.engine sys in
+  for i = 0 to 3 do
+    Engine.schedule engine
+      ~delay:(0.5 +. (0.25 *. float_of_int i))
+      (fun () ->
+        Replica.submit_write (System.replica sys i) ~deps:[] ~affects:[ unit_w "c" ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "star converges" true (System.converged sys)
+
+(* --- Policies under live systems ------------------------------------------- *)
+
+let test_adaptive_policy_system () =
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound:6.0 "c" ];
+      budget_policy = Tact_protocols.Budget.Adaptive;
+      antientropy_period = Some 1.0;
+    }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.04 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  for k = 1 to 20 do
+    Engine.schedule engine
+      ~delay:(0.4 *. float_of_int k)
+      (fun () ->
+        Replica.submit_write (System.replica sys (k mod 3)) ~deps:[]
+          ~affects:[ unit_w "c" ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore)
+  done;
+  System.run ~until:120.0 sys;
+  Alcotest.(check bool) "adaptive system converges" true (System.converged sys);
+  Alcotest.(check int) "all committed" 20
+    (Wlog.committed_count (Replica.log (System.replica sys 0)))
+
+(* --- Mixed conit interest --------------------------------------------------- *)
+
+let test_per_conit_independence () =
+  (* Two independent conits: a tight bound on one never blocks accesses that
+     depend only on the other (self-determination across conits). *)
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound:0.0 "hot"; Conit.unconstrained "cold" ];
+    }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.05 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let cold_lat = ref nan in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      (* A cold write returns instantly even while hot writes synchronise. *)
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ unit_w "hot" ] ~op:(Op.Add ("h", 1.0)) ~k:ignore;
+      let t0 = Engine.now engine in
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ unit_w "cold" ]
+        ~op:(Op.Add ("co", 1.0))
+        ~k:(fun _ -> cold_lat := Engine.now engine -. t0));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool)
+    (Printf.sprintf "cold write local (%.4fs)" !cold_lat)
+    true (!cold_lat < 1e-9)
+
+(* --- Reads of missing data --------------------------------------------------- *)
+
+let test_read_missing_key_is_nil () =
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:1 ~latency:0.0 ~bandwidth:1e6)
+      ~config:Config.default ()
+  in
+  let got = ref (Value.Int 99) in
+  Replica.submit_read (System.replica sys 0) ~deps:[]
+    ~f:(fun db -> Db.get db "never-written")
+    ~k:(fun v -> got := v);
+  System.run sys;
+  Alcotest.(check bool) "nil" true (Value.equal !got Value.Nil)
+
+let suite =
+  [
+    Alcotest.test_case "single replica strong is free" `Quick test_single_replica_strong_is_free;
+    Alcotest.test_case "empty workload" `Quick test_empty_workload;
+    Alcotest.test_case "zero latency network" `Quick test_zero_latency_network;
+    Alcotest.test_case "simultaneous writes tiebreak" `Quick test_simultaneous_writes_tiebreak;
+    Alcotest.test_case "zero-weight write free" `Quick test_zero_weight_write_ignores_budget;
+    Alcotest.test_case "huge-weight write eager" `Quick test_huge_weight_write_pushes_eagerly;
+    Alcotest.test_case "negative weights absolute" `Quick test_negative_weights_count_absolutely;
+    Alcotest.test_case "clustered topology" `Quick test_clustered_topology_end_to_end;
+    Alcotest.test_case "star topology" `Quick test_star_topology_end_to_end;
+    Alcotest.test_case "adaptive policy live" `Quick test_adaptive_policy_system;
+    Alcotest.test_case "per-conit independence" `Quick test_per_conit_independence;
+    Alcotest.test_case "read missing key" `Quick test_read_missing_key_is_nil;
+  ]

@@ -1,0 +1,195 @@
+(* Section 4.2 model emulations: unit-level checks of the encodings plus the
+   full scenario battery from experiment E9. *)
+
+open Tact_store
+open Tact_core
+open Tact_models
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+(* --- Conflict matrix ----------------------------------------------------- *)
+
+let test_matrix_validation () =
+  Alcotest.(check bool) "not square" true
+    (try
+       Conflict_matrix.check [| [| true |]; [| true |] |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "not symmetric" true
+    (try
+       Conflict_matrix.check [| [| false; true |]; [| false; false |] |];
+       false
+     with Invalid_argument _ -> true);
+  Conflict_matrix.check [| [| true; false |]; [| false; true |] |]
+
+let test_matrix_encoding () =
+  (* deposit(0) / withdraw(1): withdraw conflicts with both. *)
+  let m = [| [| false; true |]; [| true; true |] |] in
+  (* A deposit affects row 1 (withdraw's conit) only. *)
+  let dep_affects = Conflict_matrix.affects_of_method m 0 in
+  Alcotest.(check int) "deposit affects 1 conit" 1 (List.length dep_affects);
+  Alcotest.(check string) "which is row 1" (Conflict_matrix.row_conit 1)
+    (List.hd dep_affects).Write.conit;
+  (* A withdraw affects both rows. *)
+  Alcotest.(check int) "withdraw affects 2" 2
+    (List.length (Conflict_matrix.affects_of_method m 1));
+  (* Deps: a method depends on its own row with zero NE. *)
+  (match Conflict_matrix.deps_of_method m 1 with
+  | [ (c, b) ] ->
+    Alcotest.(check string) "own row" (Conflict_matrix.row_conit 1) c;
+    Alcotest.(check bool) "zero ne and oe" true
+      (feq b.Bounds.ne 0.0 && feq b.Bounds.oe 0.0)
+  | _ -> Alcotest.fail "one dep expected");
+  (* Bounded conflict: finite ne, order unconstrained. *)
+  (match Conflict_matrix.deps_of_method ~ne:50.0 m 0 with
+  | [ (_, b) ] ->
+    Alcotest.(check bool) "bounded" true
+      (feq b.Bounds.ne 50.0 && b.Bounds.oe = infinity)
+  | _ -> Alcotest.fail "one dep expected");
+  Alcotest.(check int) "conits per row" 2 (List.length (Conflict_matrix.conits m))
+
+(* --- N-ignorant ---------------------------------------------------------- *)
+
+let test_n_ignorant_conits () =
+  match N_ignorant.conits ~n_bound:5.0 with
+  | [ c ] ->
+    Alcotest.(check string) "name" N_ignorant.conit_name c.Conit.name;
+    Alcotest.(check bool) "bound" true (feq c.Conit.ne_bound 5.0)
+  | _ -> Alcotest.fail "one conit"
+
+(* --- Lazy replication ----------------------------------------------------- *)
+
+let test_lazy_conits () =
+  Alcotest.(check int) "two conits" 2 (List.length Lazy_replication.conits)
+
+(* --- Cluster --------------------------------------------------------------- *)
+
+let test_cluster_conits () =
+  Alcotest.(check int) "per cluster" 3 (List.length (Cluster.conits ~clusters:3))
+
+(* --- Quasi-copy ------------------------------------------------------------ *)
+
+let test_quasi_copy_names () =
+  Alcotest.(check string) "upd" "qc.upd.k" (Quasi_copy.update_conit "k");
+  Alcotest.(check string) "val" "qc.val.k" (Quasi_copy.value_conit "k");
+  Alcotest.(check string) "obj count" "qc.obj.o.count"
+    (Quasi_copy.Object_condition.count_conit "o");
+  Alcotest.(check string) "obj sub" "qc.obj.o.sub.s"
+    (Quasi_copy.Object_condition.sub_conit "o" "s")
+
+(* --- Memdag ---------------------------------------------------------------- *)
+
+let diamond = { Memdag.nodes = 4; edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] }
+
+let test_memdag_validation () =
+  Memdag.check diamond;
+  Alcotest.(check bool) "self edge" true
+    (try
+       Memdag.check { Memdag.nodes = 2; edges = [ (1, 1) ] };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (try
+       Memdag.check { Memdag.nodes = 2; edges = [ (0, 5) ] };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cycle" true
+    (try
+       Memdag.check { Memdag.nodes = 3; edges = [ (0, 1); (1, 2); (2, 0) ] };
+       false
+     with Invalid_argument _ -> true)
+
+let test_memdag_encoding () =
+  Alcotest.(check int) "node 0 affects its out-edges" 2
+    (List.length (Memdag.affects_of_node diamond 0));
+  Alcotest.(check int) "node 3 depends on its in-edges" 2
+    (List.length (Memdag.deps_of_node diamond 3));
+  Alcotest.(check int) "node 0 has no deps" 0
+    (List.length (Memdag.deps_of_node diamond 0));
+  List.iter
+    (fun (_, (b : Bounds.t)) ->
+      Alcotest.(check bool) "zero ne deps" true (feq b.Bounds.ne 0.0))
+    (Memdag.deps_of_node diamond 3)
+
+let test_memdag_order_check () =
+  Alcotest.(check bool) "topological accepted" true
+    (Memdag.execution_respects_dag diamond ~accept_order:[ 0; 2; 1; 3 ]);
+  Alcotest.(check bool) "violation caught" false
+    (Memdag.execution_respects_dag diamond ~accept_order:[ 0; 3; 1; 2 ]);
+  Alcotest.(check bool) "missing node caught" false
+    (Memdag.execution_respects_dag diamond ~accept_order:[ 0; 1; 2 ])
+
+(* --- The full E9 scenario battery ----------------------------------------- *)
+
+let test_e9_scenarios () =
+  List.iter
+    (fun (r : Tact_experiments.E09_models.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s" r.model r.property)
+        true r.holds)
+    (Tact_experiments.E09_models.rows ~quick:true ())
+
+let base_suite =
+  [
+    Alcotest.test_case "matrix validation" `Quick test_matrix_validation;
+    Alcotest.test_case "matrix encoding" `Quick test_matrix_encoding;
+    Alcotest.test_case "n-ignorant conits" `Quick test_n_ignorant_conits;
+    Alcotest.test_case "lazy replication conits" `Quick test_lazy_conits;
+    Alcotest.test_case "cluster conits" `Quick test_cluster_conits;
+    Alcotest.test_case "quasi-copy names" `Quick test_quasi_copy_names;
+    Alcotest.test_case "memdag validation" `Quick test_memdag_validation;
+    Alcotest.test_case "memdag encoding" `Quick test_memdag_encoding;
+    Alcotest.test_case "memdag order check" `Quick test_memdag_order_check;
+    Alcotest.test_case "E9 scenario battery" `Slow test_e9_scenarios;
+  ]
+
+(* --- ESR ------------------------------------------------------------------ *)
+
+let test_esr_bounded_import () =
+  let open Tact_sim in
+  let open Tact_replica in
+  let epsilon = 5.0 in
+  let config =
+    {
+      Config.default with
+      Config.conits = Esr.conits ~items:[ "acct" ] ~epsilon;
+      antientropy_period = None;
+    }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:3 ~latency:0.03 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  let rng = Tact_util.Prng.create ~seed:157 in
+  (* Updates of magnitude <= 2 stream in at replicas 0 and 1. *)
+  let true_total = ref 0.0 in
+  for i = 0 to 1 do
+    let s = Session.create (System.replica sys i) in
+    let prng = Tact_util.Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:prng ~rate:3.0 ~until:20.0
+      (fun () ->
+        let delta = Tact_util.Prng.uniform_in prng ~lo:(-2.0) ~hi:2.0 in
+        true_total := !true_total +. delta;
+        Esr.update s ~item:"acct" ~delta ~k:ignore)
+  done;
+  (* Epsilon-queries at replica 2 must never import more than epsilon of
+     inconsistency (plus the in-flight single-update allowance). *)
+  let worst = ref 0.0 in
+  let s2 = Session.create (System.replica sys 2) in
+  Tact_workload.Workload.staggered engine ~start:1.0 ~gap:1.0 ~count:18 (fun _ ->
+      let truth = !true_total in
+      Esr.epsilon_query s2 ~items:[ "acct" ] ~epsilon ~k:(function
+        | [ v ] -> worst := Float.max !worst (Float.abs (v -. truth))
+        | _ -> ()));
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool)
+    (Printf.sprintf "imported inconsistency %.2f <= epsilon + slack" !worst)
+    true
+    (!worst <= epsilon +. 2.0);
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+let esr_suite =
+  [ Alcotest.test_case "esr bounded import" `Quick test_esr_bounded_import ]
+
+let suite = base_suite @ esr_suite

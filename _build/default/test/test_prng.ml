@@ -1,0 +1,138 @@
+(* Deterministic PRNG: reproducibility, ranges, distribution sanity. *)
+
+open Tact_util
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_range () =
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_int_covers_range () =
+  let rng = Prng.create ~seed:2 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "every value drawn" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_exponential_mean () =
+  let rng = Prng.create ~seed:4 in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Prng.exponential rng ~mean:3.0)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~ 3 (got %.3f)" (Stats.mean s))
+    true
+    (Float.abs (Stats.mean s -. 3.0) < 0.1)
+
+let test_exponential_positive () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Prng.exponential rng ~mean:1.0 >= 0.0)
+  done
+
+let test_uniform_in () =
+  let rng = Prng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let x = Prng.uniform_in rng ~lo:5.0 ~hi:6.0 in
+    Alcotest.(check bool) "in [5,6)" true (x >= 5.0 && x < 6.0)
+  done
+
+let test_zipf_skew () =
+  let rng = Prng.create ~seed:7 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let x = Prng.zipf rng ~n:100 ~theta:1.0 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(1));
+  Alcotest.(check bool) "heavy head" true (counts.(0) > 10 * counts.(50))
+
+let test_zipf_zero_theta_uniformish () =
+  let rng = Prng.create ~seed:8 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Prng.zipf rng ~n:10 ~theta:0.0 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 200)) counts
+
+let test_zipf_range () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Prng.zipf rng ~n:7 ~theta:0.9 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_split_independence () =
+  let rng = Prng.create ~seed:10 in
+  let a = Prng.split rng in
+  let b = Prng.split rng in
+  (* Streams from two splits should not be identical. *)
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Prng.bits64 a <> Prng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "split streams differ" false !same
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick () =
+  let rng = Prng.create ~seed:12 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Prng.pick rng arr) arr)
+  done
+
+let test_bool_balance () =
+  let rng = Prng.create ~seed:13 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "uniform_in range" `Quick test_uniform_in;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf theta=0 uniform" `Quick test_zipf_zero_theta_uniformish;
+    Alcotest.test_case "zipf range" `Quick test_zipf_range;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+  ]

@@ -1,0 +1,389 @@
+(* Replica and Session behaviour beyond the smoke tests: session weight
+   consumption, access records, read-your-writes within a replica, commit
+   schemes, partitions, and randomized whole-system properties checked by the
+   omniscient verifier. *)
+
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let topo ?(latency = 0.04) n = Topology.uniform ~n ~latency ~bandwidth:1_000_000.0
+
+let unit_weight conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+(* --- Session ---------------------------------------------------------- *)
+
+let test_session_consumes_spec () =
+  let config = Config.default in
+  let sys = System.create ~topology:(topo 2) ~config () in
+  let s = Session.create (System.replica sys 0) in
+  Session.affect_conit s "a" ~nweight:2.0 ~oweight:1.0;
+  Session.write s (Op.Add ("x", 1.0)) ~k:ignore;
+  (* The next write carries no leftover weights. *)
+  Session.write s (Op.Add ("x", 1.0)) ~k:ignore;
+  System.run sys;
+  let ws = System.all_writes sys in
+  Alcotest.(check int) "two writes" 2 (List.length ws);
+  (match ws with
+  | [ w1; w2 ] ->
+    Alcotest.(check bool) "first affected" true (feq (Write.nweight w1 "a") 2.0);
+    Alcotest.(check bool) "second clean" false (Write.affects_conit w2 "a")
+  | _ -> Alcotest.fail "expected two writes");
+  (* Same for deps on reads. *)
+  Session.dependon_conit s "a" ~ne:1.0 ();
+  Session.read s (fun _ -> Value.Nil) ~k:ignore;
+  Session.read s (fun _ -> Value.Nil) ~k:ignore;
+  System.run sys;
+  let reads =
+    List.filter (fun (a : Access.t) -> a.kind = Access.Read) (System.records sys)
+  in
+  Alcotest.(check int) "two reads" 2 (List.length reads);
+  Alcotest.(check int) "only first has dep" 1
+    (List.length (List.filter (fun (a : Access.t) -> a.deps <> []) reads))
+
+let test_read_your_writes_locally () =
+  let sys = System.create ~topology:(topo 2) ~config:Config.default () in
+  let r0 = System.replica sys 0 in
+  let seen = ref nan in
+  Replica.submit_write r0 ~deps:[] ~affects:[] ~op:(Op.Add ("x", 1.0)) ~k:(fun _ ->
+      Replica.submit_read r0 ~deps:[]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun v -> seen := Value.to_float v));
+  System.run sys;
+  Alcotest.(check bool) "own write visible" true (feq !seen 1.0)
+
+let test_access_records_complete () =
+  let sys = System.create ~topology:(topo 2) ~config:Config.default () in
+  let r0 = System.replica sys 0 in
+  let engine = System.engine sys in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_write r0 ~deps:[] ~affects:[ unit_weight "c" ]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Replica.submit_read r0 ~deps:[ ("c", Bounds.weak) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:ignore);
+  System.run sys;
+  let records = System.records sys in
+  Alcotest.(check int) "two records" 2 (List.length records);
+  let write_rec = List.hd records and read_rec = List.nth records 1 in
+  (match write_rec.Access.kind with
+  | Access.Write_access id -> Alcotest.(check int) "write id" 1 id.Write.seq
+  | Access.Read -> Alcotest.fail "first should be the write");
+  Alcotest.(check bool) "times sane" true
+    (feq write_rec.Access.submit_time 1.0 && feq read_rec.Access.submit_time 2.0);
+  Alcotest.(check bool) "read observed the write" true
+    (Version_vector.covers read_rec.Access.observed_vector ~origin:0 ~seq:1);
+  Alcotest.(check bool) "read result" true
+    (feq (Value.to_float read_rec.Access.observed_result) 1.0)
+
+(* --- Commit schemes ------------------------------------------------------ *)
+
+let run_writes_and_quiesce ~config ~n ~writes =
+  let sys = System.create ~topology:(topo n) ~config () in
+  let engine = System.engine sys in
+  List.iteri
+    (fun k (replica, delay) ->
+      ignore k;
+      Engine.schedule engine ~delay (fun () ->
+          Replica.submit_write (System.replica sys replica) ~deps:[]
+            ~affects:[ unit_weight "c" ]
+            ~op:(Op.Add ("x", 1.0))
+            ~k:ignore))
+    writes;
+  System.run ~until:200.0 sys;
+  sys
+
+let test_primary_commits_everything () =
+  let config =
+    {
+      Config.default with
+      Config.commit_scheme = Config.Primary 0;
+      antientropy_period = Some 0.5;
+    }
+  in
+  let sys =
+    run_writes_and_quiesce ~config ~n:3
+      ~writes:[ (0, 1.0); (1, 1.2); (2, 1.4); (1, 2.0) ]
+  in
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d committed all" i)
+      4
+      (Wlog.committed_count (Replica.log (System.replica sys i)))
+  done;
+  (* Identical commit order everywhere. *)
+  let order i =
+    List.map (fun (w : Write.t) -> w.Write.id)
+      (Wlog.committed (Replica.log (System.replica sys i)))
+  in
+  Alcotest.(check bool) "same order" true (order 0 = order 1 && order 1 = order 2)
+
+let test_stability_commit_order_is_canonical () =
+  let config = { Config.default with Config.antientropy_period = Some 0.5 } in
+  let sys =
+    run_writes_and_quiesce ~config ~n:3
+      ~writes:[ (2, 1.0); (1, 1.2); (0, 1.4); (2, 2.0) ]
+  in
+  let committed = Wlog.committed (Replica.log (System.replica sys 0)) in
+  Alcotest.(check int) "all committed" 4 (List.length committed);
+  let times = List.map (fun (w : Write.t) -> w.Write.accept_time) committed in
+  Alcotest.(check (list (float 1e-9))) "timestamp order" (List.sort compare times) times
+
+let test_partition_blocks_stability_commit () =
+  let config = { Config.default with Config.antientropy_period = Some 0.5 } in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  Net.partition (System.net sys) [ 2 ] [ 0; 1 ];
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ unit_weight "c" ] ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  System.run ~until:30.0 sys;
+  (* Replica 2 never covers past the write's accept time, so nothing commits. *)
+  Alcotest.(check int) "stability stalls" 0
+    (Wlog.committed_count (Replica.log (System.replica sys 0)));
+  (* Heal: commitment resumes. *)
+  Net.heal (System.net sys);
+  Engine.schedule engine ~delay:1.0 (fun () -> ());
+  System.run ~until:90.0 sys;
+  Alcotest.(check int) "commits after heal" 1
+    (Wlog.committed_count (Replica.log (System.replica sys 0)))
+
+let test_partitioned_strong_read_blocks_then_serves () =
+  let config =
+    { Config.default with Config.conits = [ Conit.declare "c" ] }
+  in
+  let sys = System.create ~topology:(topo 2) ~config () in
+  let engine = System.engine sys in
+  Engine.schedule engine ~delay:0.5 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ unit_weight "c" ] ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Net.partition (System.net sys) [ 0 ] [ 1 ]);
+  let served_at = ref nan in
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Replica.submit_read (System.replica sys 1)
+        ~deps:[ ("c", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun v ->
+          served_at := Engine.now engine;
+          Alcotest.(check bool) "sees the write" true (feq (Value.to_float v) 1.0)));
+  Engine.schedule engine ~delay:10.0 (fun () -> Net.heal (System.net sys));
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "blocked across the partition" true (!served_at > 10.0);
+  Alcotest.(check bool) "eventually served" true (not (Float.is_nan !served_at));
+  Alcotest.(check bool) "no violations" true (Verify.check ~lcp:true sys = [])
+
+(* --- Randomized whole-system property ---------------------------------- *)
+
+(* Any mix of bounds, topologies, workloads and partitions must yield zero
+   verifier violations and post-quiescence convergence.  This is the paper's
+   central promise, checked end to end. *)
+let random_system_ok seed =
+  let rng = Tact_util.Prng.create ~seed in
+  let n = 2 + Tact_util.Prng.int rng 3 in
+  let latency = 0.01 +. Tact_util.Prng.float rng 0.1 in
+  let decl_ne =
+    match Tact_util.Prng.int rng 3 with
+    | 0 -> infinity
+    | 1 -> 0.0
+    | _ -> 1.0 +. Tact_util.Prng.float rng 8.0
+  in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound:decl_ne "c" ];
+      commit_scheme =
+        (if Tact_util.Prng.bool rng then Config.Stability
+         else Config.Primary (Tact_util.Prng.int rng n));
+      antientropy_period = Some (0.2 +. Tact_util.Prng.float rng 2.0);
+    }
+  in
+  let sys = System.create ~seed ~topology:(topo ~latency n) ~config () in
+  let engine = System.engine sys in
+  let duration = 12.0 in
+  for i = 0 to n - 1 do
+    let r = System.replica sys i in
+    let prng = Tact_util.Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:prng ~rate:1.0 ~until:duration
+      (fun () ->
+        let bound =
+          match Tact_util.Prng.int rng 5 with
+          | 0 -> Bounds.weak
+          | 1 -> Bounds.make ~oe:(float_of_int (Tact_util.Prng.int rng 5)) ()
+          | 2 -> Bounds.make ~st:(0.5 +. Tact_util.Prng.float rng 3.0) ()
+          | 3 -> Bounds.make ~ne:(float_of_int (Tact_util.Prng.int rng 6)) ()
+          | _ -> Bounds.strong
+        in
+        if Tact_util.Prng.bool prng then
+          Replica.submit_write r
+            ~deps:[ ("c", bound) ]
+            ~affects:[ unit_weight "c" ]
+            ~op:(Op.Add ("x", 1.0))
+            ~k:ignore
+        else
+          Replica.submit_read r
+            ~deps:[ ("c", bound) ]
+            ~f:(fun db -> Db.get db "x")
+            ~k:ignore)
+  done;
+  (* A mid-run partition of one replica, later healed. *)
+  if Tact_util.Prng.bool rng && n > 2 then begin
+    let victim = Tact_util.Prng.int rng n in
+    let others = List.filter (fun j -> j <> victim) (List.init n Fun.id) in
+    Engine.schedule engine ~delay:4.0 (fun () ->
+        Net.partition (System.net sys) [ victim ] others);
+    Engine.schedule engine ~delay:8.0 (fun () -> Net.heal (System.net sys))
+  end;
+  System.run ~until:300.0 sys;
+  let violations = Verify.check sys in
+  let converged = System.converged sys in
+  if violations <> [] then
+    QCheck.Test.fail_reportf "violations (seed %d): %s" seed
+      (Verify.summarize violations);
+  if not converged then QCheck.Test.fail_reportf "not converged (seed %d)" seed;
+  true
+
+let test_random_system =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random systems respect bounds and converge"
+       ~count:25
+       QCheck.(int_bound 100_000)
+       random_system_ok)
+
+let base_suite =
+  [
+    Alcotest.test_case "session consumes spec" `Quick test_session_consumes_spec;
+    Alcotest.test_case "read your writes locally" `Quick test_read_your_writes_locally;
+    Alcotest.test_case "access records complete" `Quick test_access_records_complete;
+    Alcotest.test_case "primary commits everything" `Quick test_primary_commits_everything;
+    Alcotest.test_case "stability order canonical" `Quick test_stability_commit_order_is_canonical;
+    Alcotest.test_case "partition blocks stability" `Quick test_partition_blocks_stability_commit;
+    Alcotest.test_case "strong read across partition" `Quick test_partitioned_strong_read_blocks_then_serves;
+    test_random_system;
+  ]
+
+
+
+(* --- Deadlines (availability knob) -------------------------------------- *)
+
+let test_deadline_timeout_under_partition () =
+  let config = { Config.default with Config.conits = [ Conit.declare "c" ] } in
+  let sys = System.create ~topology:(topo 2) ~config () in
+  let engine = System.engine sys in
+  Net.partition (System.net sys) [ 0 ] [ 1 ];
+  let timed_out = ref false and served = ref false in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_read ~deadline:3.0
+        ~on_timeout:(fun () -> timed_out := true)
+        (System.replica sys 1)
+        ~deps:[ ("c", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun _ -> served := true));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "timed out" true !timed_out;
+  Alcotest.(check bool) "never served" false !served;
+  Alcotest.(check int) "timeout counted" 1 (System.total_stats sys).Replica.timeouts
+
+let test_deadline_not_fired_when_served () =
+  let config = { Config.default with Config.conits = [ Conit.declare "c" ] } in
+  let sys = System.create ~topology:(topo 2) ~config () in
+  let engine = System.engine sys in
+  let timed_out = ref false and served = ref false in
+  Engine.schedule engine ~delay:1.0 (fun () ->
+      Replica.submit_read ~deadline:10.0
+        ~on_timeout:(fun () -> timed_out := true)
+        (System.replica sys 1)
+        ~deps:[ ("c", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "x")
+        ~k:(fun _ -> served := true));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "served within deadline" true !served;
+  Alcotest.(check bool) "no timeout" false !timed_out
+
+let deadline_suite =
+  [
+    Alcotest.test_case "deadline fires under partition" `Quick test_deadline_timeout_under_partition;
+    Alcotest.test_case "deadline unused when served" `Quick test_deadline_not_fired_when_served;
+  ]
+
+
+
+(* --- Config validation ---------------------------------------------------- *)
+
+let test_config_validation () =
+  let ok c = Config.validate ~n:3 c = Ok () in
+  Alcotest.(check bool) "default valid" true (ok Config.default);
+  Alcotest.(check bool) "bad primary" false
+    (ok { Config.default with Config.commit_scheme = Config.Primary 7 });
+  Alcotest.(check bool) "bad gossip period" false
+    (ok { Config.default with Config.antientropy_period = Some 0.0 });
+  Alcotest.(check bool) "bad retry" false
+    (ok { Config.default with Config.retry_period = 0.0 });
+  Alcotest.(check bool) "negative retention" false
+    (ok { Config.default with Config.truncate_keep = Some (-1) });
+  Alcotest.(check bool) "duplicate conits" false
+    (ok { Config.default with Config.conits = [ Conit.declare "c"; Conit.declare "c" ] });
+  Alcotest.(check bool) "negative bound" false
+    (ok { Config.default with Config.conits = [ Conit.declare ~ne_bound:(-1.0) "c" ] });
+  Alcotest.(check bool) "system rejects invalid" true
+    (try
+       ignore
+         (System.create ~topology:(topo 3)
+            ~config:{ Config.default with Config.commit_scheme = Config.Primary 7 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let validation_suite =
+  [ Alcotest.test_case "config validation" `Quick test_config_validation ]
+
+
+
+(* --- Gossip plans ----------------------------------------------------------- *)
+
+let test_gossip_plan_respected () =
+  (* A plan that only ever gossips 0 -> 1: replica 2 stays in the dark. *)
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.2;
+      gossip_plan = Some (fun i -> if i = 0 then [| 1 |] else [||]);
+    }
+  in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[] ~affects:[ unit_weight "c" ]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  System.run ~until:20.0 sys;
+  Alcotest.(check int) "replica 1 heard" 1
+    (Wlog.num_known (Replica.log (System.replica sys 1)));
+  Alcotest.(check int) "replica 2 did not" 0
+    (Wlog.num_known (Replica.log (System.replica sys 2)))
+
+let test_gossip_plan_validated () =
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.2;
+      gossip_plan = Some (fun _ -> [| 99 |]);
+    }
+  in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  Alcotest.(check bool) "bad plan rejected at start" true
+    (try
+       System.run ~until:1.0 sys;
+       false
+     with Invalid_argument _ -> true)
+
+let gossip_suite =
+  [
+    Alcotest.test_case "gossip plan respected" `Quick test_gossip_plan_respected;
+    Alcotest.test_case "gossip plan validated" `Quick test_gossip_plan_validated;
+  ]
+
+let suite = base_suite @ deadline_suite @ validation_suite @ gossip_suite

@@ -1,0 +1,200 @@
+(* Session guarantees across replica migration (Bayou-style, layered over the
+   conit machinery). *)
+
+open Tact_sim
+open Tact_store
+open Tact_replica
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+let topo n = Topology.uniform ~n ~latency:0.05 ~bandwidth:1_000_000.0
+
+(* No gossip: replica 1 learns nothing unless a guarantee forces a pull. *)
+let quiet_system () = System.create ~topology:(topo 2) ~config:Config.default ()
+
+let test_read_your_writes () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  let s = Session.create ~guarantees:[ Session.Read_your_writes ] (System.replica sys 0) in
+  let observed = ref nan and served_at = ref nan in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ ->
+          (* Move to a replica that has not seen the write. *)
+          Session.migrate s (System.replica sys 1);
+          Session.read s
+            (fun db -> Db.get db "x")
+            ~k:(fun v ->
+              observed := Value.to_float v;
+              served_at := Engine.now engine)));
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "read waited for propagation" true (!served_at > 0.1);
+  Alcotest.(check bool) "own write visible after migration" true (feq !observed 1.0)
+
+let test_without_guarantee_reads_stale () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  let s = Session.create (System.replica sys 0) in
+  let observed = ref nan in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ ->
+          Session.migrate s (System.replica sys 1);
+          Session.read s (fun db -> Db.get db "x") ~k:(fun v ->
+              observed := Value.to_float v)));
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "stale read without the guarantee" true (feq !observed 0.0)
+
+let test_monotonic_reads () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  (* An independent writer at replica 0. *)
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[] ~affects:[]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  let s = Session.create ~guarantees:[ Session.Monotonic_reads ] (System.replica sys 0) in
+  let first = ref nan and second = ref nan and second_at = ref nan in
+  Engine.schedule engine ~delay:0.2 (fun () ->
+      Session.read s (fun db -> Db.get db "x") ~k:(fun v ->
+          first := Value.to_float v;
+          Session.migrate s (System.replica sys 1);
+          Session.read s (fun db -> Db.get db "x") ~k:(fun v ->
+              second := Value.to_float v;
+              second_at := Engine.now engine)));
+  System.run ~until:60.0 sys;
+  Alcotest.(check bool) "first read saw the write" true (feq !first 1.0);
+  Alcotest.(check bool) "second read not backwards" true (!second >= !first);
+  Alcotest.(check bool) "second read had to wait" true (!second_at > 0.2)
+
+let test_monotonic_writes_causality () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  let s = Session.create ~guarantees:[ Session.Monotonic_writes ] (System.replica sys 0) in
+  let second_id = ref None in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ ->
+          Session.migrate s (System.replica sys 1);
+          Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ -> ())));
+  System.run ~until:60.0 sys;
+  (* Find the session's second write (origin 1) and check its causal context
+     covers the first (origin 0, seq 1). *)
+  List.iter
+    (fun (w : Write.t) -> if w.id.origin = 1 then second_id := Some w.id)
+    (System.all_writes sys);
+  (match !second_id with
+  | None -> Alcotest.fail "second write missing"
+  | Some id ->
+    let ctx = System.accept_vector sys id in
+    Alcotest.(check bool) "second write causally after first" true
+      (Version_vector.covers ctx ~origin:0 ~seq:1));
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+let test_writes_follow_reads () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  (* Someone posts at replica 0; our session reads it there, migrates, and
+     replies at replica 1: the reply must be causally after the post. *)
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[] ~affects:[]
+        ~op:(Op.Append ("board", Value.Str "post")) ~k:ignore);
+  let s = Session.create ~guarantees:[ Session.Writes_follow_reads ] (System.replica sys 0) in
+  let reply_id = ref None in
+  Engine.schedule engine ~delay:0.2 (fun () ->
+      Session.read s (fun db -> Db.get db "board") ~k:(fun _ ->
+          Session.migrate s (System.replica sys 1);
+          Session.write s (Op.Append ("board", Value.Str "reply")) ~k:(fun _ -> ())));
+  System.run ~until:60.0 sys;
+  List.iter
+    (fun (w : Write.t) -> if w.id.origin = 1 then reply_id := Some w.id)
+    (System.all_writes sys);
+  (match !reply_id with
+  | None -> Alcotest.fail "reply missing"
+  | Some id ->
+    let ctx = System.accept_vector sys id in
+    Alcotest.(check bool) "reply causally after the post" true
+      (Version_vector.covers ctx ~origin:0 ~seq:1));
+  (* The migrated replica pulled the post before accepting the reply. *)
+  Alcotest.(check bool) "replica 1 has both writes" true
+    (Wlog.num_known (Replica.log (System.replica sys 1)) = 2)
+
+let test_guarantees_compose_with_bounds () =
+  let sys = quiet_system () in
+  let engine = System.engine sys in
+  let s =
+    Session.create
+      ~guarantees:[ Session.Read_your_writes; Session.Monotonic_reads ]
+      (System.replica sys 0)
+  in
+  let done_ = ref false in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Session.affect_conit s "c" ~nweight:1.0 ~oweight:1.0;
+      Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ ->
+          Session.migrate s (System.replica sys 1);
+          Session.dependon_conit s "c" ~oe:0.0 ();
+          Session.read s (fun db -> Db.get db "x") ~k:(fun v ->
+              Alcotest.(check bool) "value" true (feq (Value.to_float v) 1.0);
+              done_ := true)));
+  System.run ~until:120.0 sys;
+  Alcotest.(check bool) "served" true !done_;
+  Alcotest.(check bool) "no violations" true (Verify.check ~lcp:true sys = [])
+
+let base_suite =
+  [
+    Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+    Alcotest.test_case "no guarantee reads stale" `Quick test_without_guarantee_reads_stale;
+    Alcotest.test_case "monotonic reads" `Quick test_monotonic_reads;
+    Alcotest.test_case "monotonic writes causality" `Quick test_monotonic_writes_causality;
+    Alcotest.test_case "writes follow reads" `Quick test_writes_follow_reads;
+    Alcotest.test_case "compose with conit bounds" `Quick test_guarantees_compose_with_bounds;
+  ]
+
+(* Property: under random migrations, a RYW+MR session's reads are monotone
+   and always include every write the session has completed. *)
+
+let test_session_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"RYW+MR hold under random migration" ~count:20
+       QCheck.(int_bound 10_000)
+       (fun seed ->
+         let rng = Tact_util.Prng.create ~seed in
+         let n = 3 in
+         let sys =
+           System.create ~seed
+             ~topology:(Topology.uniform ~n ~latency:0.05 ~bandwidth:1e6)
+             ~config:{ Config.default with Config.antientropy_period = Some 3.0 }
+             ()
+         in
+         let engine = System.engine sys in
+         let s =
+           Session.create
+             ~guarantees:[ Session.Read_your_writes; Session.Monotonic_reads ]
+             (System.replica sys 0)
+         in
+         let my_writes = ref 0 and ok = ref true and last_seen = ref 0.0 in
+         (* A chain of random session steps, each starting when the previous
+            completed. *)
+         let rec step k =
+           if k = 0 then ()
+           else
+             match Tact_util.Prng.int rng 3 with
+             | 0 ->
+               Session.migrate s (System.replica sys (Tact_util.Prng.int rng n));
+               step (k - 1)
+             | 1 ->
+               incr my_writes;
+               Session.write s (Op.Add ("x", 1.0)) ~k:(fun _ -> step (k - 1))
+             | _ ->
+               Session.read s
+                 (fun db -> Db.get db "x")
+                 ~k:(fun v ->
+                   let seen = Value.to_float v in
+                   if seen < !last_seen then ok := false (* monotonic reads *);
+                   if seen < float_of_int !my_writes then ok := false (* RYW *);
+                   last_seen := seen;
+                   step (k - 1))
+         in
+         Engine.schedule engine ~delay:0.1 (fun () -> step 20);
+         System.run ~until:600.0 sys;
+         !ok))
+
+let property_suite = [ test_session_property ]
+
+let suite = base_suite @ property_suite

@@ -1,0 +1,304 @@
+(* Discrete-event engine, heap, topology and network model. *)
+
+open Tact_sim
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+(* --- heap ----------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iteri
+    (fun i t -> Heap.push h ~time:t ~seq:i i)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (t, _, _) ->
+      order := t :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9))) "ascending" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !order)
+
+let test_heap_tiebreak () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:1.0 ~seq:i i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo among ties" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !order)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_time h = None)
+
+let test_heap_random_drain_sorted =
+  let prop =
+    QCheck.Test.make ~name:"heap drains sorted" ~count:200
+      QCheck.(list (pair (float_bound_exclusive 1000.0) small_nat))
+      (fun entries ->
+        let h = Heap.create () in
+        List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+        let rec drain acc =
+          match Heap.pop h with
+          | Some (t, _, _) -> drain (t :: acc)
+          | None -> List.rev acc
+        in
+        let times = drain [] in
+        let rec sorted = function
+          | a :: (b :: _ as tl) -> a <= b && sorted tl
+          | _ -> true
+        in
+        sorted times && List.length times = List.length entries)
+  in
+  QCheck_alcotest.to_alcotest prop
+
+(* --- engine --------------------------------------------------------- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "temporal order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check bool) "clock advanced" true (feq (Engine.now e) 3.0)
+
+let test_engine_simultaneous_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order preserved" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0.0 in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      Engine.schedule e ~delay:1.5 (fun () -> fired := Engine.now e));
+  Engine.run e;
+  Alcotest.(check bool) "nested event at 2.5" true (feq !fired 2.5)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "only five fired" 5 !count;
+  Alcotest.(check bool) "clock at horizon" true (feq (Engine.now e) 5.5);
+  Engine.run e;
+  Alcotest.(check int) "remaining fire on resume" 10 !count
+
+let test_engine_at_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      Alcotest.check_raises "past time"
+        (Invalid_argument "Engine.at: time 0.5 is in the past (now 1)")
+        (fun () -> Engine.at e ~time:0.5 ignore));
+  Engine.run e
+
+let test_engine_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) ignore)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every e ~period:1.0 (fun () ->
+      incr ticks;
+      !ticks < 5);
+  Engine.run e;
+  Alcotest.(check int) "five ticks" 5 !ticks;
+  Alcotest.(check bool) "stopped at t=5" true (feq (Engine.now e) 5.0)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let rec forever () = Engine.schedule e ~delay:1.0 forever in
+  forever ();
+  Alcotest.(check bool) "runaway guard" true
+    (try
+       Engine.run ~max_events:100 e;
+       false
+     with Failure _ -> true)
+
+(* --- topology ------------------------------------------------------- *)
+
+let test_topology_uniform () =
+  let t = Topology.uniform ~n:4 ~latency:0.05 ~bandwidth:1000.0 in
+  Alcotest.(check bool) "self zero" true (feq (Topology.delay t ~src:1 ~dst:1 ~size:100) 0.0);
+  (* 0.05 propagation + 100/1000 serialisation *)
+  Alcotest.(check bool) "delay = latency + size/bw" true
+    (feq (Topology.delay t ~src:0 ~dst:1 ~size:100) 0.15)
+
+let test_topology_clustered () =
+  let t = Topology.clustered ~clusters:2 ~per_cluster:2 ~local:0.001 ~wan:0.1 ~bandwidth:1e9 in
+  Alcotest.(check int) "size" 4 t.Topology.n;
+  Alcotest.(check bool) "intra cheap" true (t.Topology.latency 0 1 < 0.01);
+  Alcotest.(check bool) "inter expensive" true (t.Topology.latency 0 2 > 0.05)
+
+let test_topology_star () =
+  let t = Topology.star ~n:4 ~spoke:0.02 ~bandwidth:1e9 in
+  Alcotest.(check bool) "hub-spoke" true (feq (t.Topology.latency 0 3) 0.02);
+  Alcotest.(check bool) "spoke-spoke doubles" true (feq (t.Topology.latency 1 3) 0.04)
+
+let test_topology_matrix () =
+  let m = [| [| 0.0; 0.5 |]; [| 0.25; 0.0 |] |] in
+  let t = Topology.from_matrix ~latency:m ~bandwidth:1e9 in
+  Alcotest.(check bool) "asymmetric ok" true
+    (feq (t.Topology.latency 0 1) 0.5 && feq (t.Topology.latency 1 0) 0.25)
+
+(* --- net ------------------------------------------------------------- *)
+
+let test_net_delivery_and_stats () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1e6) () in
+  let got = ref nan in
+  Net.send net ~src:0 ~dst:1 ~size:1000 (fun () -> got := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "delivered at latency+ser" true (feq !got 0.101);
+  let s = Net.stats net in
+  Alcotest.(check int) "1 message" 1 s.Net.messages;
+  Alcotest.(check int) "1000 bytes" 1000 s.Net.bytes;
+  Alcotest.(check int) "0 dropped" 0 s.Net.dropped
+
+let test_net_partition_drops () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:3 ~latency:0.1 ~bandwidth:1e6) () in
+  Net.partition net [ 0 ] [ 1 ];
+  let delivered = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr delivered);
+  Net.send net ~src:1 ~dst:0 ~size:10 (fun () -> incr delivered);
+  Net.send net ~src:0 ~dst:2 ~size:10 (fun () -> incr delivered);
+  Engine.run e;
+  Alcotest.(check int) "only unpartitioned pair delivers" 1 !delivered;
+  Alcotest.(check int) "two dropped" 2 (Net.stats net).Net.dropped;
+  Net.heal net;
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr delivered);
+  Engine.run e;
+  Alcotest.(check int) "healed" 2 !delivered
+
+let test_net_jitter_bounded () =
+  let e = Engine.create () in
+  let rng = Tact_util.Prng.create ~seed:5 in
+  let net =
+    Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1e9)
+      ~jitter:(rng, 0.5) ()
+  in
+  for _ = 1 to 50 do
+    Net.send net ~src:0 ~dst:1 ~size:0 ignore
+  done;
+  (* All deliveries within [0.1, 0.15). *)
+  let ok = ref true in
+  let last = ref 0.0 in
+  Engine.run e;
+  ignore last;
+  ignore ok;
+  Alcotest.(check bool) "clock within jitter window" true
+    (Engine.now e >= 0.1 && Engine.now e < 0.15)
+
+let test_net_reset_stats () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1e6) () in
+  Net.send net ~src:0 ~dst:1 ~size:10 ignore;
+  Net.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Net.stats net).Net.messages
+
+let base_suite =
+  [
+    Alcotest.test_case "heap order" `Quick test_heap_order;
+    Alcotest.test_case "heap tiebreak" `Quick test_heap_tiebreak;
+    Alcotest.test_case "heap empty" `Quick test_heap_empty;
+    test_heap_random_drain_sorted;
+    Alcotest.test_case "engine temporal order" `Quick test_engine_runs_in_order;
+    Alcotest.test_case "engine simultaneous fifo" `Quick test_engine_simultaneous_fifo;
+    Alcotest.test_case "engine nested" `Quick test_engine_nested_scheduling;
+    Alcotest.test_case "engine until/resume" `Quick test_engine_until;
+    Alcotest.test_case "engine past rejected" `Quick test_engine_at_past_rejected;
+    Alcotest.test_case "engine negative delay" `Quick test_engine_negative_delay_rejected;
+    Alcotest.test_case "engine every" `Quick test_engine_every;
+    Alcotest.test_case "engine runaway guard" `Quick test_engine_max_events;
+    Alcotest.test_case "topology uniform" `Quick test_topology_uniform;
+    Alcotest.test_case "topology clustered" `Quick test_topology_clustered;
+    Alcotest.test_case "topology star" `Quick test_topology_star;
+    Alcotest.test_case "topology matrix" `Quick test_topology_matrix;
+    Alcotest.test_case "net delivery+stats" `Quick test_net_delivery_and_stats;
+    Alcotest.test_case "net partition" `Quick test_net_partition_drops;
+    Alcotest.test_case "net jitter bounded" `Quick test_net_jitter_bounded;
+    Alcotest.test_case "net reset stats" `Quick test_net_reset_stats;
+  ]
+
+let test_net_queued_links () =
+  let e = Engine.create () in
+  (* 1000 B/s link, 0.1s propagation: two 100-byte messages sent together. *)
+  let net =
+    Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1000.0)
+      ~queued:true ()
+  in
+  let t1 = ref nan and t2 = ref nan in
+  Net.send net ~src:0 ~dst:1 ~size:100 (fun () -> t1 := Engine.now e);
+  Net.send net ~src:0 ~dst:1 ~size:100 (fun () -> t2 := Engine.now e);
+  Engine.run e;
+  (* First: 0.1s ser + 0.1s prop = 0.2; second queues behind: 0.2s ser. *)
+  Alcotest.(check bool) "first at 0.2" true (feq !t1 0.2);
+  Alcotest.(check bool) "second queued to 0.3" true (feq !t2 0.3)
+
+let test_net_queued_independent_links () =
+  let e = Engine.create () in
+  let net =
+    Net.create e (Topology.uniform ~n:3 ~latency:0.1 ~bandwidth:1000.0)
+      ~queued:true ()
+  in
+  let t1 = ref nan and t2 = ref nan in
+  (* Different destinations: no contention. *)
+  Net.send net ~src:0 ~dst:1 ~size:100 (fun () -> t1 := Engine.now e);
+  Net.send net ~src:0 ~dst:2 ~size:100 (fun () -> t2 := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "both at 0.2" true (feq !t1 0.2 && feq !t2 0.2)
+
+let queued_suite =
+  [
+    Alcotest.test_case "queued link serialises" `Quick test_net_queued_links;
+    Alcotest.test_case "queued links independent" `Quick test_net_queued_independent_links;
+  ]
+
+
+
+let test_traffic_where () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:3 ~latency:0.01 ~bandwidth:1e9) () in
+  Net.send net ~src:0 ~dst:1 ~size:100 ignore;
+  Net.send net ~src:1 ~dst:2 ~size:50 ignore;
+  Net.send net ~src:2 ~dst:0 ~size:25 ignore;
+  Engine.run e;
+  let from0 = Net.traffic_where net (fun ~src ~dst -> ignore dst; src = 0) in
+  Alcotest.(check int) "from 0: 1 msg" 1 from0.Net.messages;
+  Alcotest.(check int) "from 0: 100 bytes" 100 from0.Net.bytes;
+  let all = Net.traffic_where net (fun ~src:_ ~dst:_ -> true) in
+  Alcotest.(check int) "split sums to total" (Net.stats net).Net.bytes all.Net.bytes
+
+let traffic_suite =
+  [ Alcotest.test_case "traffic_where split" `Quick test_traffic_where ]
+
+let suite = base_suite @ queued_suite @ traffic_suite

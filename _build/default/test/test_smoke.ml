@@ -1,0 +1,167 @@
+(* End-to-end smoke tests: a small replicated system over a simulated WAN. *)
+
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let topo n = Topology.uniform ~n ~latency:0.04 ~bandwidth:1_000_000.0
+
+let unit_weight conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
+
+(* Weak consistency: writes at every replica, background gossip, eventual
+   convergence. *)
+let test_eventual_convergence () =
+  let config =
+    { Config.default with Config.antientropy_period = Some 0.5 }
+  in
+  let sys = System.create ~topology:(topo 4) ~config () in
+  let engine = System.engine sys in
+  for i = 0 to 3 do
+    let r = System.replica sys i in
+    for k = 1 to 5 do
+      Engine.schedule engine ~delay:(0.1 *. float_of_int ((i * 5) + k)) (fun () ->
+          Replica.submit_write r ~deps:[]
+            ~affects:[ unit_weight "all" ]
+            ~op:(Op.Add (Printf.sprintf "x%d" i, 1.0))
+            ~k:ignore)
+    done
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check int) "all writes accepted" 20 (System.write_count sys);
+  Alcotest.(check bool) "replicas converged" true (System.converged sys);
+  (* With gossip running, stability commitment should eventually commit all. *)
+  for i = 0 to 3 do
+    let log = Replica.log (System.replica sys i) in
+    Alcotest.(check int)
+      (Printf.sprintf "replica %d committed all" i)
+      20 (Wlog.committed_count log)
+  done;
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+(* A strong read (zero bounds) observes every prior write. *)
+let test_strong_read () =
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare "all" ];
+      antientropy_period = None;
+    }
+  in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  let r0 = System.replica sys 0 and r2 = System.replica sys 2 in
+  for k = 1 to 4 do
+    Engine.schedule engine ~delay:(0.2 *. float_of_int k) (fun () ->
+        Replica.submit_write r0 ~deps:[]
+          ~affects:[ unit_weight "all" ]
+          ~op:(Op.Add ("counter", 1.0))
+          ~k:ignore)
+  done;
+  let result = ref nan in
+  let read_served = ref false in
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      Replica.submit_read r2
+        ~deps:[ ("all", Bounds.strong) ]
+        ~f:(fun db -> Db.get db "counter")
+        ~k:(fun v ->
+          read_served := true;
+          result := Value.to_float v));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "read served" true !read_served;
+  Alcotest.(check (float 1e-9)) "strong read saw all writes" 4.0 !result;
+  Alcotest.(check bool) "no violations" true (Verify.check ~lcp:true sys = [])
+
+(* Reads with a loose NE bound are served instantly from the local image. *)
+let test_weak_read_is_local () =
+  let config = { Config.default with Config.antientropy_period = None } in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  let r0 = System.replica sys 0 and r1 = System.replica sys 1 in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write r0 ~deps:[] ~affects:[ unit_weight "all" ]
+        ~op:(Op.Add ("c", 1.0)) ~k:ignore);
+  let served_at = ref nan in
+  Engine.schedule engine ~delay:0.2 (fun () ->
+      Replica.submit_read r1 ~deps:[ ("all", Bounds.weak) ]
+        ~f:(fun db -> Db.get db "c")
+        ~k:(fun _ -> served_at := Engine.now engine));
+  System.run ~until:10.0 sys;
+  Alcotest.(check (float 1e-9)) "served immediately" 0.2 !served_at;
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+(* NE budget: with a declared bound of 2 and 3 replicas, a writer may hold at
+   most 1 unacked unit per peer, so back-to-back writes push eagerly. *)
+let test_ne_budget_pushes () =
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare ~ne_bound:2.0 "all" ];
+      antientropy_period = None;
+    }
+  in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  let r0 = System.replica sys 0 in
+  let returns = ref 0 in
+  for k = 1 to 6 do
+    Engine.schedule engine ~delay:(0.5 *. float_of_int k) (fun () ->
+        Replica.submit_write r0 ~deps:[] ~affects:[ unit_weight "all" ]
+          ~op:(Op.Add ("c", 1.0))
+          ~k:(fun _ -> incr returns))
+  done;
+  System.run ~until:60.0 sys;
+  Alcotest.(check int) "all writes returned" 6 !returns;
+  let s = System.total_stats sys in
+  Alcotest.(check bool) "budget pushes happened" true (s.Replica.pushes_budget > 0);
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+(* Staleness bound forces a pull that observes the remote write. *)
+let test_staleness_pull () =
+  let config = { Config.default with Config.antientropy_period = None } in
+  let sys = System.create ~topology:(topo 2) ~config () in
+  let engine = System.engine sys in
+  let r0 = System.replica sys 0 and r1 = System.replica sys 1 in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write r0 ~deps:[] ~affects:[ unit_weight "all" ]
+        ~op:(Op.Add ("c", 1.0)) ~k:ignore);
+  let seen = ref nan in
+  Engine.schedule engine ~delay:5.0 (fun () ->
+      Replica.submit_read r1
+        ~deps:[ ("all", Bounds.make ~st:1.0 ()) ]
+        ~f:(fun db -> Db.get db "c")
+        ~k:(fun v -> seen := Value.to_float v));
+  System.run ~until:30.0 sys;
+  Alcotest.(check (float 1e-9)) "pulled the fresh value" 1.0 !seen;
+  Alcotest.(check bool) "no violations" true (Verify.check sys = [])
+
+(* Order-error bound 0 forces commitment before serving. *)
+let test_oe_commit () =
+  let config = { Config.default with Config.antientropy_period = Some 0.3 } in
+  let sys = System.create ~topology:(topo 3) ~config () in
+  let engine = System.engine sys in
+  let r1 = System.replica sys 1 in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write r1 ~deps:[] ~affects:[ unit_weight "all" ]
+        ~op:(Op.Add ("c", 1.0)) ~k:ignore);
+  let served = ref false in
+  Engine.schedule engine ~delay:0.2 (fun () ->
+      Replica.submit_read r1
+        ~deps:[ ("all", Bounds.make ~oe:0.0 ()) ]
+        ~f:(fun db -> Db.get db "c")
+        ~k:(fun _ -> served := true));
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "read served after commitment" true !served;
+  let log = Replica.log r1 in
+  Alcotest.(check bool) "write committed" true (Wlog.committed_count log >= 1);
+  Alcotest.(check bool) "no violations" true (Verify.check ~lcp:true sys = [])
+
+let suite =
+  [
+    Alcotest.test_case "eventual convergence" `Quick test_eventual_convergence;
+    Alcotest.test_case "strong read" `Quick test_strong_read;
+    Alcotest.test_case "weak read is local" `Quick test_weak_read_is_local;
+    Alcotest.test_case "NE budget pushes" `Quick test_ne_budget_pushes;
+    Alcotest.test_case "staleness pull" `Quick test_staleness_pull;
+    Alcotest.test_case "OE commit" `Quick test_oe_commit;
+  ]

@@ -1,0 +1,65 @@
+(* The declarative spec layer (Section 3.4's five steps as values). *)
+
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+type post = { author : int; text : string; friends : int list }
+
+let post_class : post Spec.op_class =
+  Spec.op_class ~name:"post"
+    ~affects:(fun p ->
+      ("AllMsg", 1.0, 1.0)
+      :: (if List.mem p.author p.friends then [ ("MsgFromFriends", 1.0, 1.0) ] else []))
+    ~op:(fun p -> Op.Append ("board", Value.Str p.text))
+    ()
+
+let read_board : unit Spec.query =
+  Spec.query ~name:"read board"
+    ~depends:(fun () -> [ ("AllMsg", Bounds.make ~ne:10.0 ~oe:5.0 ()) ])
+    ~read:(fun () db -> Db.get db "board")
+    ()
+
+let test_spec_annotates_writes () =
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:2 ~latency:0.02 ~bandwidth:1e6)
+      ~config:Config.default ()
+  in
+  let s = Session.create (System.replica sys 0) in
+  Spec.submit post_class s { author = 1; text = "hi"; friends = [ 1 ] } ~k:ignore;
+  Spec.submit post_class s { author = 9; text = "yo"; friends = [ 1 ] } ~k:ignore;
+  System.run sys;
+  (match System.all_writes sys with
+  | [ w1; w2 ] ->
+    Alcotest.(check bool) "friend post hits both conits" true
+      (feq (Write.nweight w1 "AllMsg") 1.0 && feq (Write.nweight w1 "MsgFromFriends") 1.0);
+    Alcotest.(check bool) "stranger post hits one" true
+      (feq (Write.nweight w2 "AllMsg") 1.0
+      && not (Write.affects_conit w2 "MsgFromFriends"))
+  | _ -> Alcotest.fail "two writes expected");
+  Alcotest.(check string) "name" "post" (Spec.class_name post_class)
+
+let test_spec_query_deps () =
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:2 ~latency:0.02 ~bandwidth:1e6)
+      ~config:Config.default ()
+  in
+  let s = Session.create (System.replica sys 0) in
+  Spec.ask read_board s () ~k:ignore;
+  System.run sys;
+  match System.records sys with
+  | [ a ] ->
+    Alcotest.(check bool) "dep recorded" true (Access.depends_on a "AllMsg");
+    (match Access.bound_for a "AllMsg" with
+    | Some b -> Alcotest.(check bool) "bound carried" true (feq b.Bounds.ne 10.0)
+    | None -> Alcotest.fail "bound missing")
+  | _ -> Alcotest.fail "one access expected"
+
+let suite =
+  [
+    Alcotest.test_case "spec annotates writes" `Quick test_spec_annotates_writes;
+    Alcotest.test_case "spec query deps" `Quick test_spec_query_deps;
+  ]

@@ -1,0 +1,176 @@
+(* Stats, Histogram, Table, Plot, Vec. *)
+
+open Tact_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_mean_variance () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check bool) "mean" true (feq (Stats.mean s) 5.0);
+  Alcotest.(check bool) "variance (unbiased)" true
+    (feq (Stats.variance s) (32.0 /. 7.0));
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check bool) "total" true (feq (Stats.total s) 40.0);
+  Alcotest.(check bool) "min" true (feq (Stats.min s) 2.0);
+  Alcotest.(check bool) "max" true (feq (Stats.max s) 9.0)
+
+let test_empty_stats () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "variance 0" true (feq (Stats.variance s) 0.0)
+
+let test_single_observation () =
+  let s = Stats.create () in
+  Stats.add s 3.0;
+  Alcotest.(check bool) "mean" true (feq (Stats.mean s) 3.0);
+  Alcotest.(check bool) "variance 0" true (feq (Stats.variance s) 0.0)
+
+let test_welford_matches_naive () =
+  let rng = Prng.create ~seed:99 in
+  let xs = Array.init 500 (fun _ -> Prng.float rng 100.0) in
+  let s = Stats.create () in
+  Array.iter (Stats.add s) xs;
+  let n = float_of_int (Array.length xs) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+  in
+  Alcotest.(check bool) "mean matches" true (feq ~eps:1e-6 (Stats.mean s) mean);
+  Alcotest.(check bool) "variance matches" true (feq ~eps:1e-6 (Stats.variance s) var)
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check bool) "p0" true (feq (Stats.percentile xs 0.0) 1.0);
+  Alcotest.(check bool) "p50" true (feq (Stats.percentile xs 50.0) 3.0);
+  Alcotest.(check bool) "p100" true (feq (Stats.percentile xs 100.0) 5.0);
+  Alcotest.(check bool) "p25 interpolates" true (feq (Stats.percentile xs 25.0) 2.0);
+  Alcotest.(check bool) "unsorted input ok" true
+    (feq (Stats.percentile [| 5.0; 1.0; 3.0; 2.0; 4.0 |] 50.0) 3.0)
+
+let test_percentile_edge () =
+  Alcotest.(check bool) "empty nan" true (Float.is_nan (Stats.percentile [||] 50.0));
+  Alcotest.(check bool) "singleton" true (feq (Stats.percentile [| 7.0 |] 99.0) 7.0);
+  Alcotest.(check bool) "median alias" true (feq (Stats.median [| 1.0; 2.0 |]) 1.5)
+
+let test_histogram_buckets () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -3.0; 42.0 ];
+  let counts = Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket 0 (incl. underflow)" 2 counts.(0);
+  Alcotest.(check int) "bucket 1" 2 counts.(1);
+  Alcotest.(check int) "bucket 9 (incl. overflow)" 2 counts.(9);
+  Alcotest.(check int) "total" 6 (Histogram.count h)
+
+let test_histogram_bounds () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~buckets:4 in
+  let bounds = Histogram.bucket_bounds h in
+  Alcotest.(check int) "4 buckets" 4 (Array.length bounds);
+  Alcotest.(check bool) "first bound" true (feq (fst bounds.(0)) 0.0);
+  Alcotest.(check bool) "last bound" true (feq (snd bounds.(3)) 4.0)
+
+let test_histogram_render () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Histogram.add h) [ 1.0; 1.0; 5.0 ];
+  let r = Histogram.render h in
+  Alcotest.(check bool) "mentions counts" true
+    (String.length r > 0 && String.contains r '#')
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "long-header"; "c" ] in
+  Table.add_row t [ "1"; "2"; "3" ];
+  Table.add_rowf t [ 1.5; 42.0; 0.333333 ];
+  let r = Table.render t in
+  Alcotest.(check bool) "has title" true (contains_sub r "demo");
+  Alcotest.(check bool) "has header" true (contains_sub r "long-header");
+  Alcotest.(check bool) "has float cell" true (contains_sub r "0.3333");
+  Alcotest.(check int) "five lines" 5
+    (List.length (String.split_on_char '\n' (String.trim r)))
+
+let test_table_cell_f () =
+  Alcotest.(check string) "integral" "42" (Table.cell_f 42.0);
+  Alcotest.(check string) "fractional" "0.3333" (Table.cell_f (1.0 /. 3.0))
+
+let test_plot_series () =
+  let p =
+    Plot.series ~title:"t" [ ("s", [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ]) ]
+  in
+  Alcotest.(check bool) "nonempty" true (String.length p > 100);
+  let p2 = Plot.series ~title:"empty" [] in
+  Alcotest.(check bool) "empty handled" true (String.length p2 > 0)
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 37 (Vec.get v 37);
+  Alcotest.(check (list int)) "sub_list" [ 97; 98; 99 ] (Vec.sub_list v ~pos:97);
+  Alcotest.(check (list int)) "sub_list past end" [] (Vec.sub_list v ~pos:200);
+  Alcotest.(check int) "to_list length" 100 (List.length (Vec.to_list v));
+  let acc = ref 0 in
+  Vec.iter (fun x -> acc := !acc + x) v;
+  Alcotest.(check int) "iter sums" 4950 !acc
+
+let test_vec_get_out_of_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let base_suite =
+  [
+    Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+    Alcotest.test_case "empty stats" `Quick test_empty_stats;
+    Alcotest.test_case "single observation" `Quick test_single_observation;
+    Alcotest.test_case "welford matches naive" `Quick test_welford_matches_naive;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edge;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram bounds" `Quick test_histogram_bounds;
+    Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table cell_f" `Quick test_table_cell_f;
+    Alcotest.test_case "plot series" `Quick test_plot_series;
+    Alcotest.test_case "vec basics" `Quick test_vec;
+    Alcotest.test_case "vec bounds" `Quick test_vec_get_out_of_bounds;
+  ]
+
+let test_plot_single_point () =
+  let p = Plot.series ~title:"one" [ ("s", [ (1.0, 1.0) ]) ] in
+  Alcotest.(check bool) "degenerate ranges handled" true (String.length p > 0)
+
+let test_plot_negative_values () =
+  let p = Plot.series ~title:"neg" [ ("s", [ (0.0, -5.0); (1.0, 5.0) ]) ] in
+  Alcotest.(check bool) "negative axis handled" true (String.length p > 0)
+
+let test_table_arity_checked () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.(check bool) "arity mismatch trips assertion" true
+    (try
+       Table.add_row t [ "only-one" ];
+       false
+     with Assert_failure _ -> true)
+
+let test_histogram_single_bucket () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~buckets:1 in
+  Histogram.add h 0.5;
+  Histogram.add h 99.0;
+  Alcotest.(check int) "everything in the one bucket" 2 (Histogram.bucket_counts h).(0)
+
+let edge_suite =
+  [
+    Alcotest.test_case "plot single point" `Quick test_plot_single_point;
+    Alcotest.test_case "plot negative values" `Quick test_plot_negative_values;
+    Alcotest.test_case "table arity" `Quick test_table_arity_checked;
+    Alcotest.test_case "histogram single bucket" `Quick test_histogram_single_bucket;
+  ]
+
+let suite = base_suite @ edge_suite

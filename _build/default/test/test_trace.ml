@@ -1,0 +1,54 @@
+(* The trace ring buffer and its replica integration. *)
+
+open Tact_util
+
+let test_ring_buffer () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) ~source:"s" ~kind:"k" (string_of_int i)
+  done;
+  Alcotest.(check int) "total count" 5 (Trace.count tr);
+  let evs = Trace.events tr in
+  Alcotest.(check int) "retained = capacity" 3 (List.length evs);
+  Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
+    (List.map (fun (e : Trace.event) -> e.detail) evs)
+
+let test_render_and_find () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1.0 ~source:"a" ~kind:"x" "one";
+  Trace.record tr ~time:2.0 ~source:"b" ~kind:"y" "two";
+  Trace.record tr ~time:3.0 ~source:"a" ~kind:"x" "three";
+  Alcotest.(check int) "find by kind" 2 (List.length (Trace.find tr ~kind:"x"));
+  let r = Trace.render ~last:1 tr in
+  Alcotest.(check bool) "render tail" true
+    (String.length r > 0
+    && List.length (String.split_on_char '\n' (String.trim r)) = 1)
+
+let test_replica_integration () =
+  let open Tact_sim in
+  let open Tact_store in
+  let open Tact_replica in
+  let tr = Trace.create () in
+  let config =
+    { Config.default with Config.antientropy_period = Some 0.5; trace = Some tr }
+  in
+  let sys =
+    System.create ~topology:(Topology.uniform ~n:2 ~latency:0.03 ~bandwidth:1e6)
+      ~config ()
+  in
+  let engine = System.engine sys in
+  Engine.schedule engine ~delay:0.1 (fun () ->
+      Replica.submit_write (System.replica sys 0) ~deps:[]
+        ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+        ~op:(Op.Add ("x", 1.0)) ~k:ignore);
+  System.run ~until:30.0 sys;
+  Alcotest.(check bool) "accept traced" true (Trace.find tr ~kind:"accept" <> []);
+  Alcotest.(check bool) "transfer traced" true (Trace.find tr ~kind:"transfer" <> []);
+  Alcotest.(check bool) "commit traced" true (Trace.find tr ~kind:"commit" <> [])
+
+let suite =
+  [
+    Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "render and find" `Quick test_render_and_find;
+    Alcotest.test_case "replica integration" `Quick test_replica_integration;
+  ]

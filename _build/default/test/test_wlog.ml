@@ -1,0 +1,357 @@
+(* The write log: tentative/committed split, rollback & reapply, stability
+   and CSN commitment, pending-gap buffering, incremental conit bookkeeping. *)
+
+open Tact_store
+
+let feq a b = Float.abs (a -. b) < 1e-9
+
+let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
+
+let mk ?(op = Op.Noop) ?(affects = [ unit_w "c" ]) ~origin ~seq ~t () =
+  { Write.id = { origin; seq }; accept_time = t; op; affects }
+
+let add_op k = Op.Add (k, 1.0)
+
+(* An order-sensitive op: records its position in the application order. *)
+let seq_stamp_op name =
+  Op.Proc
+    {
+      name;
+      size = 8;
+      body =
+        (fun db ->
+          Db.add db "order.counter" 1.0;
+          Db.set db ("pos." ^ name) (Value.Float (Db.get_float db "order.counter"));
+          Op.Applied Value.Nil);
+    }
+
+let test_accept_applies () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  let o = Wlog.accept log (mk ~op:(add_op "x") ~origin:0 ~seq:1 ~t:1.0 ()) in
+  Alcotest.(check bool) "applied" false (Op.conflicted o);
+  Alcotest.(check bool) "visible in full view" true (feq (Db.get_float (Wlog.db log) "x") 1.0);
+  Alcotest.(check bool) "not in committed view" true
+    (feq (Db.get_float (Wlog.committed_db log) "x") 0.0);
+  Alcotest.(check int) "one known" 1 (Wlog.num_known log);
+  Alcotest.(check int) "none committed" 0 (Wlog.committed_count log)
+
+let test_accept_out_of_sequence_rejected () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  Alcotest.(check bool) "seq gap rejected" true
+    (try
+       ignore (Wlog.accept log (mk ~origin:0 ~seq:5 ~t:1.0 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_duplicate () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  let w = mk ~origin:1 ~seq:1 ~t:1.0 () in
+  (match Wlog.insert log w with
+  | Wlog.Inserted _ -> ()
+  | _ -> Alcotest.fail "expected insert");
+  Alcotest.(check bool) "duplicate detected" true (Wlog.insert log w = Wlog.Duplicate)
+
+let test_insert_gap_buffered () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  let w2 = mk ~op:(add_op "x") ~origin:1 ~seq:2 ~t:2.0 () in
+  let w1 = mk ~op:(add_op "x") ~origin:1 ~seq:1 ~t:1.0 () in
+  Alcotest.(check bool) "gap buffered" true (Wlog.insert log w2 = Wlog.Buffered);
+  Alcotest.(check bool) "not yet known" false (Wlog.known log w2.Write.id);
+  (match Wlog.insert log w1 with
+  | Wlog.Inserted _ -> ()
+  | _ -> Alcotest.fail "gap filler should insert");
+  Alcotest.(check bool) "drained" true (Wlog.known log w2.Write.id);
+  Alcotest.(check bool) "both applied" true (feq (Db.get_float (Wlog.db log) "x") 2.0)
+
+let test_out_of_order_insert_reorders () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  ignore (Wlog.accept log (mk ~op:(seq_stamp_op "b") ~origin:0 ~seq:1 ~t:5.0 ()));
+  Alcotest.(check int) "no rollback yet" 0 (Wlog.rollbacks log);
+  (* A remote write with an earlier timestamp lands in the middle. *)
+  (match Wlog.insert log (mk ~op:(seq_stamp_op "a") ~origin:1 ~seq:1 ~t:3.0 ()) with
+  | Wlog.Inserted _ -> ()
+  | _ -> Alcotest.fail "insert");
+  Alcotest.(check int) "one rollback" 1 (Wlog.rollbacks log);
+  let db = Wlog.db log in
+  Alcotest.(check bool) "a replayed first" true (feq (Db.get_float db "pos.a") 1.0);
+  Alcotest.(check bool) "b replayed second" true (feq (Db.get_float db "pos.b") 2.0);
+  let tentative = List.map (fun (w : Write.t) -> w.accept_time) (Wlog.tentative log) in
+  Alcotest.(check (list (float 1e-9))) "ts order" [ 3.0; 5.0 ] tentative
+
+let test_outcome_changes_under_reorder () =
+  (* A guarded write that succeeds tentatively but conflicts after an
+     earlier-timestamped write consumes the resource. *)
+  let take =
+    Op.guarded ~name:"take"
+      ~check:(fun db -> Db.get_float db "stock" >= 1.0)
+      ~apply:(fun db ->
+        Db.add db "stock" (-1.0);
+        Db.get db "stock")
+      ()
+  in
+  let log = Wlog.create ~replicas:2 ~initial:[ ("stock", Value.Float 1.0) ] in
+  let mine = mk ~op:take ~origin:0 ~seq:1 ~t:5.0 () in
+  (match Wlog.accept log mine with
+  | Op.Applied _ -> ()
+  | Op.Conflict _ -> Alcotest.fail "tentative should succeed");
+  (match Wlog.insert log (mk ~op:take ~origin:1 ~seq:1 ~t:3.0 ()) with
+  | Wlog.Inserted (Op.Applied _) -> ()
+  | _ -> Alcotest.fail "earlier write should win the stock");
+  (match Wlog.outcome log mine.Write.id with
+  | Some (Op.Conflict _) -> ()
+  | _ -> Alcotest.fail "reordered outcome should now conflict");
+  Alcotest.(check bool) "stock empty" true (feq (Db.get_float (Wlog.db log) "stock") 0.0)
+
+let test_commit_stable_prefix () =
+  let log = Wlog.create ~replicas:3 ~initial:[] in
+  ignore (Wlog.accept log (mk ~op:(add_op "x") ~origin:0 ~seq:1 ~t:1.0 ()));
+  ignore (Wlog.accept log (mk ~op:(add_op "x") ~origin:0 ~seq:2 ~t:4.0 ()));
+  (match Wlog.insert log (mk ~op:(add_op "x") ~origin:1 ~seq:1 ~t:2.0 ()) with
+  | Wlog.Inserted _ -> ()
+  | _ -> Alcotest.fail "insert");
+  (* Covers: origins 1 and 2 heard up to t=3 -> writes at t=1,2 are stable,
+     t=4 is not. *)
+  let n = Wlog.commit_stable log ~cover:[| 10.0; 3.0; 3.0 |] in
+  Alcotest.(check int) "two committed" 2 n;
+  Alcotest.(check int) "committed count" 2 (Wlog.committed_count log);
+  Alcotest.(check bool) "committed image has both" true
+    (feq (Db.get_float (Wlog.committed_db log) "x") 2.0);
+  Alcotest.(check bool) "full image has all three" true
+    (feq (Db.get_float (Wlog.db log) "x") 3.0);
+  Alcotest.(check int) "one tentative left" 1 (List.length (Wlog.tentative log));
+  (* Committing again with the same covers is a no-op. *)
+  Alcotest.(check int) "idempotent" 0 (Wlog.commit_stable log ~cover:[| 10.0; 3.0; 3.0 |])
+
+let test_commit_stable_tie_break () =
+  (* A write at exactly the cover time of a lower-numbered origin must not
+     commit: that origin could still produce a write at the same instant that
+     sorts first. *)
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  ignore (Wlog.accept log (mk ~origin:1 ~seq:1 ~t:3.0 ()));
+  Alcotest.(check int) "tie with lower origin blocks" 0
+    (Wlog.commit_stable log ~cover:[| 3.0; 10.0 |]);
+  Alcotest.(check int) "strictly past commits" 1
+    (Wlog.commit_stable log ~cover:[| 3.0001; 10.0 |]);
+  (* Symmetric case: the tied origin is higher-numbered, so its future write
+     at the same instant sorts after ours — safe to commit. *)
+  let log2 = Wlog.create ~replicas:2 ~initial:[] in
+  ignore (Wlog.accept log2 (mk ~origin:0 ~seq:1 ~t:3.0 ()));
+  Alcotest.(check int) "tie with higher origin commits" 1
+    (Wlog.commit_stable log2 ~cover:[| 10.0; 3.0 |])
+
+let test_final_outcomes () =
+  let take =
+    Op.guarded ~name:"take"
+      ~check:(fun db -> Db.get_float db "stock" >= 1.0)
+      ~apply:(fun db ->
+        Db.add db "stock" (-1.0);
+        Db.get db "stock")
+      ()
+  in
+  let log = Wlog.create ~replicas:2 ~initial:[ ("stock", Value.Float 1.0) ] in
+  let late = mk ~op:take ~origin:0 ~seq:1 ~t:5.0 () in
+  ignore (Wlog.accept log late);
+  ignore (Wlog.insert log (mk ~op:take ~origin:1 ~seq:1 ~t:3.0 ()));
+  Alcotest.(check bool) "no final before commit" true
+    (Wlog.final_outcome log late.Write.id = None);
+  ignore (Wlog.commit_stable log ~cover:[| 99.0; 99.0 |]);
+  (match Wlog.final_outcome log late.Write.id with
+  | Some (Op.Conflict _) -> ()
+  | _ -> Alcotest.fail "final outcome should be the conflicted one")
+
+let test_commit_ids_reorder () =
+  (* CSN order disagreeing with timestamp order forces a full-image rebuild. *)
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  let a = mk ~op:(seq_stamp_op "a") ~origin:0 ~seq:1 ~t:1.0 () in
+  let b = mk ~op:(seq_stamp_op "b") ~origin:0 ~seq:2 ~t:2.0 () in
+  ignore (Wlog.accept log a);
+  ignore (Wlog.accept log b);
+  let n = Wlog.commit_ids log [ b.Write.id; a.Write.id ] in
+  Alcotest.(check int) "both committed" 2 n;
+  (* Committed image must reflect CSN order: b first. *)
+  Alcotest.(check bool) "b first in committed image" true
+    (feq (Db.get_float (Wlog.committed_db log) "pos.b") 1.0);
+  Alcotest.(check bool) "full image rebuilt to match" true
+    (feq (Db.get_float (Wlog.db log) "pos.b") 1.0);
+  Alcotest.(check (list (float 1e-9))) "committed order" [ 2.0; 1.0 ]
+    (List.map (fun (w : Write.t) -> w.Write.accept_time) (Wlog.committed log));
+  (* Unknown and already-committed ids are skipped. *)
+  Alcotest.(check int) "skip unknown/dup" 0
+    (Wlog.commit_ids log [ a.Write.id; { Write.origin = 1; seq = 9 } ])
+
+let test_conit_bookkeeping () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  ignore
+    (Wlog.accept log
+       (mk ~affects:[ { Write.conit = "a"; nweight = 2.0; oweight = 0.5 } ]
+          ~origin:0 ~seq:1 ~t:1.0 ()));
+  ignore
+    (Wlog.accept log
+       (mk ~affects:[ { Write.conit = "a"; nweight = -0.5; oweight = 1.0 } ]
+          ~origin:0 ~seq:2 ~t:2.0 ()));
+  Alcotest.(check bool) "value accumulates signed" true (feq (Wlog.conit_value log "a") 1.5);
+  Alcotest.(check bool) "tentative oweight" true (feq (Wlog.tentative_oweight log "a") 1.5);
+  Alcotest.(check bool) "max oweight" true (feq (Wlog.tentative_max_oweight log) 1.5);
+  ignore (Wlog.commit_stable log ~cover:[| 99.0; 99.0 |]);
+  Alcotest.(check bool) "oweight drains at commit" true (feq (Wlog.tentative_oweight log "a") 0.0);
+  Alcotest.(check bool) "committed value" true (feq (Wlog.committed_conit_value log "a") 1.5);
+  Alcotest.(check bool) "unknown conit zero" true (feq (Wlog.conit_value log "zzz") 0.0)
+
+let test_writes_since () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  ignore (Wlog.accept log (mk ~origin:0 ~seq:1 ~t:1.0 ()));
+  ignore (Wlog.accept log (mk ~origin:0 ~seq:2 ~t:2.0 ()));
+  ignore (Wlog.insert log (mk ~origin:1 ~seq:1 ~t:1.5 ()));
+  let v = Version_vector.create 2 in
+  Alcotest.(check int) "all from zero vector" 3 (List.length (Wlog.writes_since log v));
+  Version_vector.set v 0 1;
+  let diff = Wlog.writes_since log v in
+  Alcotest.(check int) "two missing" 2 (List.length diff);
+  (* Returned in timestamp order. *)
+  Alcotest.(check (list (float 1e-9))) "ts order" [ 1.5; 2.0 ]
+    (List.map (fun (w : Write.t) -> w.Write.accept_time) diff)
+
+let test_insert_batch_single_replay () =
+  let log = Wlog.create ~replicas:3 ~initial:[] in
+  ignore (Wlog.accept log (mk ~op:(add_op "x") ~origin:0 ~seq:1 ~t:10.0 ()));
+  let batch =
+    [ mk ~op:(add_op "x") ~origin:1 ~seq:1 ~t:1.0 ();
+      mk ~op:(add_op "x") ~origin:1 ~seq:2 ~t:2.0 ();
+      mk ~op:(add_op "x") ~origin:2 ~seq:1 ~t:3.0 () ]
+  in
+  let fresh = Wlog.insert_batch log batch in
+  Alcotest.(check int) "three new" 3 (List.length fresh);
+  Alcotest.(check int) "single rollback for the batch" 1 (Wlog.rollbacks log);
+  Alcotest.(check bool) "all applied" true (feq (Db.get_float (Wlog.db log) "x") 4.0);
+  (* Re-inserting the same batch is a no-op. *)
+  Alcotest.(check int) "idempotent" 0 (List.length (Wlog.insert_batch log batch))
+
+let test_insert_batch_returns_drained () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  (* Gap first, then the batch that fills it must report both as fresh. *)
+  Alcotest.(check bool) "buffered" true
+    (Wlog.insert log (mk ~origin:1 ~seq:2 ~t:2.0 ()) = Wlog.Buffered);
+  let fresh = Wlog.insert_batch log [ mk ~origin:1 ~seq:1 ~t:1.0 () ] in
+  Alcotest.(check int) "gap filler + drained" 2 (List.length fresh)
+
+(* Property: two logs receiving the same writes in different orders converge
+   to the same full image and the same tentative order. *)
+let test_convergence_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"logs converge regardless of delivery order"
+       ~count:100
+       QCheck.(int_bound 1000)
+       (fun seed ->
+         let rng = Tact_util.Prng.create ~seed in
+         let n = 3 in
+         (* Build a global pool of writes: per-origin increasing times. *)
+         let pool = ref [] in
+         let clock = Array.make n 0.0 in
+         for origin = 0 to n - 1 do
+           let count = 1 + Tact_util.Prng.int rng 8 in
+           for seq = 1 to count do
+             clock.(origin) <-
+               clock.(origin) +. Tact_util.Prng.float rng 5.0 +. 0.001;
+             pool :=
+               mk
+                 ~op:(seq_stamp_op (Printf.sprintf "w%d.%d" origin seq))
+                 ~origin ~seq ~t:clock.(origin) ()
+               :: !pool
+           done
+         done;
+         let pool = Array.of_list !pool in
+         let make_log () =
+           let log = Wlog.create ~replicas:n ~initial:[] in
+           let order = Array.copy pool in
+           Tact_util.Prng.shuffle rng order;
+           (* Insert one at a time; gaps buffer and drain naturally. *)
+           Array.iter (fun w -> ignore (Wlog.insert log w)) order;
+           log
+         in
+         let a = make_log () and b = make_log () in
+         Db.equal (Wlog.db a) (Wlog.db b)
+         && List.map (fun (w : Write.t) -> w.Write.id) (Wlog.tentative a)
+            = List.map (fun (w : Write.t) -> w.Write.id) (Wlog.tentative b)))
+
+(* Property: stability commitment never commits a write some origin could
+   still precede, and repeated partial commits equal one big commit. *)
+let test_commit_stable_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"incremental stability commits = one-shot" ~count:100
+       QCheck.(int_bound 1000)
+       (fun seed ->
+         let rng = Tact_util.Prng.create ~seed in
+         let n = 3 in
+         let clock = Array.make n 0.0 in
+         let pool = ref [] in
+         for origin = 0 to n - 1 do
+           for seq = 1 to 5 do
+             clock.(origin) <- clock.(origin) +. Tact_util.Prng.float rng 3.0 +. 0.001;
+             pool := mk ~op:(add_op "x") ~origin ~seq ~t:clock.(origin) () :: !pool
+           done
+         done;
+         let build () =
+           let log = Wlog.create ~replicas:n ~initial:[] in
+           List.iter (fun w -> ignore (Wlog.insert log w)) (List.rev !pool);
+           log
+         in
+         let log1 = build () in
+         let log2 = build () in
+         let mid = Array.map (fun c -> c /. 2.0) clock in
+         let final = Array.map (fun c -> c +. 1.0) clock in
+         let a = Wlog.commit_stable log1 ~cover:mid in
+         let b = Wlog.commit_stable log1 ~cover:final in
+         let c = Wlog.commit_stable log2 ~cover:final in
+         a + b = c
+         && List.map (fun (w : Write.t) -> w.Write.id) (Wlog.committed log1)
+            = List.map (fun (w : Write.t) -> w.Write.id) (Wlog.committed log2)))
+
+let base_suite =
+  [
+    Alcotest.test_case "accept applies" `Quick test_accept_applies;
+    Alcotest.test_case "accept out-of-seq rejected" `Quick test_accept_out_of_sequence_rejected;
+    Alcotest.test_case "insert duplicate" `Quick test_insert_duplicate;
+    Alcotest.test_case "insert gap buffered" `Quick test_insert_gap_buffered;
+    Alcotest.test_case "out-of-order insert reorders" `Quick test_out_of_order_insert_reorders;
+    Alcotest.test_case "outcome changes under reorder" `Quick test_outcome_changes_under_reorder;
+    Alcotest.test_case "commit_stable prefix" `Quick test_commit_stable_prefix;
+    Alcotest.test_case "commit_stable tie-break" `Quick test_commit_stable_tie_break;
+    Alcotest.test_case "final outcomes" `Quick test_final_outcomes;
+    Alcotest.test_case "commit_ids reorder" `Quick test_commit_ids_reorder;
+    Alcotest.test_case "conit bookkeeping" `Quick test_conit_bookkeeping;
+    Alcotest.test_case "writes_since" `Quick test_writes_since;
+    Alcotest.test_case "insert_batch single replay" `Quick test_insert_batch_single_replay;
+    Alcotest.test_case "insert_batch returns drained" `Quick test_insert_batch_returns_drained;
+    test_convergence_prop;
+    test_commit_stable_prop;
+  ]
+
+(* Final outcomes under CSN reordering: the committed outcome reflects the
+   supplied order, not timestamp order. *)
+let test_csn_final_outcome_order () =
+  let take =
+    Op.guarded ~name:"take"
+      ~check:(fun db -> Db.get_float db "stock" >= 1.0)
+      ~apply:(fun db ->
+        Db.add db "stock" (-1.0);
+        Db.get db "stock")
+      ()
+  in
+  let log = Wlog.create ~replicas:2 ~initial:[ ("stock", Value.Float 1.0) ] in
+  let early = mk ~op:take ~origin:0 ~seq:1 ~t:1.0 () in
+  let late = mk ~op:take ~origin:0 ~seq:2 ~t:2.0 () in
+  ignore (Wlog.accept log early);
+  ignore (Wlog.accept log late);
+  (* The primary decided to commit the late one first. *)
+  ignore (Wlog.commit_ids log [ late.Write.id; early.Write.id ]);
+  (match Wlog.final_outcome log late.Write.id with
+  | Some (Op.Applied _) -> ()
+  | _ -> Alcotest.fail "late write should win under CSN order");
+  match Wlog.final_outcome log early.Write.id with
+  | Some (Op.Conflict _) -> ()
+  | _ -> Alcotest.fail "early write should lose under CSN order"
+
+let extra_suite =
+  [ Alcotest.test_case "csn final outcome order" `Quick test_csn_final_outcome_order ]
+
+let suite = base_suite @ extra_suite

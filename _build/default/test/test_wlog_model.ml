@@ -1,0 +1,195 @@
+(* Model-based testing of Wlog: the incremental implementation (rollback
+   short-cuts, cached conit values, pending buffers, truncation) is compared
+   against a naive reference model that recomputes everything from first
+   principles after every step. *)
+
+open Tact_store
+
+let feq a b = Float.abs (a -. b) < 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* The reference model: a bag of known writes, a commit frontier, and   *)
+(* recomputation from scratch for every query.                          *)
+
+module Model = struct
+  type t = {
+    replicas : int;
+    mutable offered : Write.t list;  (** everything ever offered, unordered *)
+    mutable committed : Write.id list;  (** commit order *)
+  }
+
+  let create ~replicas = { replicas; offered = []; committed = [] }
+
+  let insert t (w : Write.t) =
+    if not (List.exists (fun (x : Write.t) -> x.id = w.id) t.offered) then
+      t.offered <- w :: t.offered
+
+  (* The log's knowledge is the maximal per-origin contiguous prefix of what
+     was offered (gapped writes sit in its pending buffer until the gap
+     fills). *)
+  let known t =
+    List.filter
+      (fun (w : Write.t) ->
+        let rec prefix_complete seq =
+          seq = 0
+          || List.exists
+               (fun (x : Write.t) -> x.id.origin = w.id.origin && x.id.seq = seq)
+               t.offered
+             && prefix_complete (seq - 1)
+        in
+        prefix_complete w.id.seq)
+      t.offered
+
+  let canonical t = List.sort Write.ts_compare (known t)
+
+  let tentative t =
+    List.filter
+      (fun (w : Write.t) -> not (List.mem w.id t.committed))
+      (canonical t)
+
+  let commit_stable t ~cover =
+    (* Same stability rule, recomputed naively. *)
+    let stable (w : Write.t) =
+      let ok = ref true in
+      Array.iteri
+        (fun o c ->
+          if o <> w.id.origin then
+            if c < w.accept_time || (c = w.accept_time && o < w.id.origin) then
+              ok := false)
+        cover;
+      !ok
+    in
+    let rec take = function
+      | w :: rest when stable w ->
+        t.committed <- t.committed @ [ w.Write.id ];
+        take rest
+      | _ -> ()
+    in
+    take (tentative t)
+
+  let db t =
+    let image = Db.create [] in
+    let by_id id = List.find (fun (w : Write.t) -> w.id = id) t.offered in
+    List.iter (fun id -> ignore (Op.apply (by_id id).op image)) t.committed;
+    List.iter (fun (w : Write.t) -> ignore (Op.apply w.op image)) (tentative t);
+    image
+
+  let conit_value t conit =
+    List.fold_left (fun acc w -> acc +. Write.nweight w conit) 0.0 (known t)
+
+  let tentative_oweight t conit =
+    List.fold_left (fun acc w -> acc +. Write.oweight w conit) 0.0
+      (List.filter (fun w -> Write.affects_conit w conit) (tentative t))
+end
+
+(* ------------------------------------------------------------------ *)
+
+let conits = [| "a"; "b"; "c" |]
+
+let gen_pool rng ~replicas =
+  let pool = ref [] in
+  let clock = Array.make replicas 0.0 in
+  for origin = 0 to replicas - 1 do
+    let count = 1 + Tact_util.Prng.int rng 10 in
+    for seq = 1 to count do
+      clock.(origin) <- clock.(origin) +. Tact_util.Prng.float rng 4.0 +. 0.01;
+      let conit = Tact_util.Prng.pick rng conits in
+      let nw = Tact_util.Prng.uniform_in rng ~lo:(-2.0) ~hi:2.0 in
+      let ow = Tact_util.Prng.float rng 2.0 in
+      pool :=
+        {
+          Write.id = { origin; seq };
+          accept_time = clock.(origin);
+          op = Op.Add ("k" ^ conit, 1.0);
+          affects = [ { Write.conit; nweight = nw; oweight = ow } ];
+        }
+        :: !pool
+    done
+  done;
+  Array.of_list !pool
+
+let agree log model =
+  Db.equal (Wlog.db log) (Model.db model)
+  && List.map (fun (w : Write.t) -> w.Write.id) (Wlog.tentative log)
+     = List.map (fun (w : Write.t) -> w.Write.id) (Model.tentative model)
+  && Array.for_all
+       (fun c ->
+         feq (Wlog.conit_value log c) (Model.conit_value model c)
+         && feq (Wlog.tentative_oweight log c) (Model.tentative_oweight model c))
+       conits
+
+let run_scenario seed =
+  let rng = Tact_util.Prng.create ~seed in
+  let replicas = 3 in
+  let pool = gen_pool rng ~replicas in
+  Tact_util.Prng.shuffle rng pool;
+  let log = Wlog.create ~replicas ~initial:[] in
+  let model = Model.create ~replicas in
+  let max_time =
+    Array.fold_left (fun acc (w : Write.t) -> Float.max acc w.accept_time) 0.0 pool
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun i w ->
+      (* Random action mix: mostly inserts, some batch inserts, some commits. *)
+      (match Tact_util.Prng.int rng 10 with
+      | 0 | 1 ->
+        (* Stability commit with a random cover. *)
+        let cover =
+          Array.init replicas (fun _ -> Tact_util.Prng.float rng (max_time +. 1.0))
+        in
+        ignore (Wlog.commit_stable log ~cover);
+        Model.commit_stable model ~cover
+      | 2 ->
+        (* Small batch: this write plus the next ones already offered get
+           re-offered (duplicates must be ignored). *)
+        let batch =
+          [ w ] @ (if i > 0 then [ pool.(i - 1) ] else []) @ [ w ]
+        in
+        ignore (Wlog.insert_batch log batch);
+        List.iter (Model.insert model) batch
+      | _ ->
+        ignore (Wlog.insert log w);
+        Model.insert model w);
+      if not (agree log model) then ok := false)
+    pool;
+  (* Finish: insert everything (covering buffered gaps), commit fully. *)
+  ignore (Wlog.insert_batch log (Array.to_list pool));
+  Array.iter (Model.insert model) pool;
+  let full = Array.make replicas (max_time +. 1.0) in
+  ignore (Wlog.commit_stable log ~cover:full);
+  Model.commit_stable model ~cover:full;
+  !ok && agree log model
+  && Wlog.committed_count log = List.length model.Model.committed
+  && List.length (Wlog.tentative log) = 0
+
+let test_model_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"wlog agrees with the naive reference model"
+       ~count:120
+       QCheck.(int_bound 1_000_000)
+       run_scenario)
+
+(* Truncation against the model: after truncation the queryable state is
+   unchanged; only diff service shrinks. *)
+let test_truncation_preserves_state =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"truncation never changes observable state" ~count:60
+       QCheck.(pair (int_bound 1_000_000) (int_bound 10))
+       (fun (seed, keep) ->
+         let rng = Tact_util.Prng.create ~seed in
+         let pool = gen_pool rng ~replicas:3 in
+         let log = Wlog.create ~replicas:3 ~initial:[] in
+         Array.iter (fun w -> ignore (Wlog.insert log w)) pool;
+         let max_time =
+           Array.fold_left (fun acc (w : Write.t) -> Float.max acc w.accept_time) 0.0 pool
+         in
+         ignore (Wlog.commit_stable log ~cover:(Array.make 3 (max_time +. 1.0)));
+         let before_db = Db.copy (Wlog.db log) in
+         let before_count = Wlog.committed_count log in
+         ignore (Wlog.truncate log ~keep);
+         Db.equal (Wlog.db log) before_db
+         && Wlog.committed_count log = before_count
+         && Wlog.retained log <= max keep before_count))
+
+let suite = [ test_model_equivalence; test_truncation_preserves_state ]
