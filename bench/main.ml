@@ -5,11 +5,19 @@
    ASCII plots).  Part 2 runs Bechamel micro-benchmarks of the protocol
    kernels the experiments exercise.
 
+   Part 3 runs the scaling kernels: wall-clock measurements of the hot paths
+   (write-log accept/commit, out-of-order insert storms, end-to-end served
+   accesses) at sizes where asymptotic costs dominate.  [--json] runs only
+   those and writes a machine-readable trajectory file (BENCH_PR1.json) used
+   to track the perf of these paths across PRs.
+
    Usage:
      dune exec bench/main.exe                 # quick experiments + micro
      dune exec bench/main.exe -- --full       # full-length experiments
      dune exec bench/main.exe -- --no-micro   # skip Bechamel
-     dune exec bench/main.exe -- E3 E12       # a subset, by id or name *)
+     dune exec bench/main.exe -- E3 E12       # a subset, by id or name
+     dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR1.json
+     dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard) *)
 
 open Tact_experiments
 
@@ -159,12 +167,204 @@ let run_micro () =
         tbl)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Scaling kernels: wall-clock measurements of the hot paths at sizes
+   where asymptotic behaviour dominates.  Each kernel asserts its own
+   postconditions so that [--smoke] doubles as a correctness guard. *)
+
+open Tact_store
+
+let bench_write ~origin ~seq ~t =
+  {
+    Write.id = { origin; seq };
+    accept_time = t;
+    op = Op.Add ("x", 1.0);
+    affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
+  }
+
+(* Accept [writes] local writes, then commit them through the primary-CSN
+   path in timestamp order, [batch] ids at a time — the shape of a replica
+   catching up on a CSN backlog accumulated while commitment lagged. *)
+let kernel_accept_commit ~writes ?(batch = 64) () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  for seq = 1 to writes do
+    ignore (Wlog.accept log (bench_write ~origin:0 ~seq ~t:(float_of_int seq)))
+  done;
+  let committed = ref 0 in
+  let pending = ref [] in
+  for seq = 1 to writes do
+    pending := { Write.origin = 0; seq } :: !pending;
+    if seq mod batch = 0 || seq = writes then begin
+      committed := !committed + Wlog.commit_ids log (List.rev !pending);
+      pending := []
+    end
+  done;
+  assert (!committed = writes);
+  assert (Wlog.committed_count log = writes);
+  assert (Wlog.tentative log = [])
+
+(* Two origins with interleaved timestamps where one origin's stream is
+   delivered [lag] writes behind the other: every second insert lands [lag]
+   positions short of the tail of the tentative suffix — the WAN-jitter
+   out-of-order arrival pattern. *)
+let kernel_insert_storm ~writes ?(lag = 64) () =
+  let log = Wlog.create ~replicas:3 ~initial:[] in
+  let half = writes / 2 in
+  for i = 1 to half + lag do
+    if i <= half then
+      ignore (Wlog.insert log (bench_write ~origin:0 ~seq:i ~t:(float_of_int (2 * i))));
+    if i > lag then begin
+      let j = i - lag in
+      ignore
+        (Wlog.insert log (bench_write ~origin:1 ~seq:j ~t:(float_of_int ((2 * j) - 1))))
+    end
+  done;
+  assert (Wlog.num_known log = 2 * half);
+  (* The full image saw every write exactly once despite the reordering. *)
+  assert (Db.get_float (Wlog.db log) "x" = float_of_int (2 * half))
+
+(* End-to-end served-access throughput: a 2-replica system under a
+   read-mostly open-loop workload with weak bounds, stability commitment and
+   fast gossip, so the committed prefix grows throughout the run.  Measures
+   the whole serve path: admission, observation capture, commit progress. *)
+let kernel_serve ~accesses () =
+  let open Tact_sim in
+  let open Tact_core in
+  let open Tact_replica in
+  let topology = Topology.uniform ~n:2 ~latency:0.005 ~bandwidth:1e9 in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Conit.declare "c" ];
+      antientropy_period = Some 0.05;
+    }
+  in
+  let sys = System.create ~seed:1 ~jitter:0.0 ~topology ~config () in
+  let engine = System.engine sys in
+  let served = ref 0 in
+  let dt = 0.01 in
+  for i = 0 to accesses - 1 do
+    let r = System.replica sys (i mod 2) in
+    Engine.at engine ~time:(float_of_int i *. dt) (fun () ->
+        if i mod 4 = 0 then
+          Replica.submit_write r ~deps:[]
+            ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+            ~op:(Op.Add ("x", 1.0))
+            ~k:(fun _ -> incr served)
+        else
+          Replica.submit_read r ~deps:[]
+            ~f:(fun db -> Db.get db "x")
+            ~k:(fun _ -> incr served))
+  done;
+  System.run ~until:((float_of_int accesses *. dt) +. 60.0) sys;
+  assert (!served = accesses);
+  assert (System.converged sys)
+
+type kernel_result = {
+  kr_name : string;
+  kr_param : int;
+  kr_seconds : float;
+  kr_seed_seconds : float option;  (* measured at the seed commit, same kernel *)
+}
+
+(* Seed-implementation timings (list-backed wlog, eager observation capture),
+   measured on this machine at the seed commit with this same harness.  Kept
+   here so BENCH_PR1.json carries the before/after trajectory. *)
+let seed_baseline =
+  [
+    (("wlog_accept_commit", 10_000), 2.084738);
+    (("wlog_accept_commit", 30_000), 26.763079);
+    (("wlog_insert_storm", 10_000), 5.140419);
+    (("wlog_insert_storm", 30_000), 83.938200);
+    (("replica_serve", 10_000), 3.710860);
+  ]
+
+let time_kernel ~name ~param f =
+  let t0 = Sys.time () in
+  f ();
+  let dt = Sys.time () -. t0 in
+  let seed =
+    List.assoc_opt (name, param) seed_baseline
+  in
+  Printf.printf "%-28s n=%-7d %10.3f s%s\n%!" name param dt
+    (match seed with
+    | Some s -> Printf.sprintf "   (seed: %.3f s, %.1fx)" s (s /. Float.max dt 1e-9)
+    | None -> "");
+  { kr_name = name; kr_param = param; kr_seconds = dt; kr_seed_seconds = seed }
+
+let scaling_kernels () =
+  [
+    time_kernel ~name:"wlog_accept_commit" ~param:10_000
+      (kernel_accept_commit ~writes:10_000);
+    time_kernel ~name:"wlog_accept_commit" ~param:30_000
+      (kernel_accept_commit ~writes:30_000);
+    time_kernel ~name:"wlog_insert_storm" ~param:10_000
+      (kernel_insert_storm ~writes:10_000);
+    time_kernel ~name:"wlog_insert_storm" ~param:30_000
+      (kernel_insert_storm ~writes:30_000);
+    time_kernel ~name:"replica_serve" ~param:10_000 (kernel_serve ~accesses:10_000);
+  ]
+
+let json_of_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"n\": %d, \"seconds\": %.6f, \"per_op_ns\": %.1f"
+           r.kr_name r.kr_param r.kr_seconds
+           (r.kr_seconds *. 1e9 /. float_of_int r.kr_param));
+      (match r.kr_seed_seconds with
+      | Some s ->
+        Buffer.add_string buf
+          (Printf.sprintf ", \"seed_seconds\": %.6f, \"speedup_vs_seed\": %.2f" s
+             (s /. Float.max r.kr_seconds 1e-9))
+      | None -> ());
+      Buffer.add_string buf "}")
+    results;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let run_json ~path =
+  Printf.printf "Scaling kernels (wall clock)\n%s\n" (String.make 78 '-');
+  let results = scaling_kernels () in
+  let oc = open_out path in
+  output_string oc (json_of_results results);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* Tiny instances of every scaling kernel: a fast CI guard (wired into
+   @bench-smoke / runtest) so the benchmark harness cannot bit-rot. *)
+let run_smoke () =
+  kernel_accept_commit ~writes:256 ~batch:16 ();
+  kernel_insert_storm ~writes:512 ~lag:16 ();
+  kernel_serve ~accesses:100 ();
+  print_endline "bench smoke ok"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let no_micro = List.mem "--no-micro" args in
+  let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
+  let out =
+    List.fold_left
+      (fun acc a ->
+        match String.index_opt a '=' with
+        | Some i when String.length a > 6 && String.sub a 0 6 = "--out=" ->
+          ignore i;
+          String.sub a 6 (String.length a - 6)
+        | _ -> acc)
+      "BENCH_PR1.json" args
+  in
   let only =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
-  run_experiments ~quick:(not full) ~only;
-  if not no_micro then run_micro ()
+  if smoke then run_smoke ()
+  else if json then run_json ~path:out
+  else begin
+    run_experiments ~quick:(not full) ~only;
+    if not no_micro then run_micro ()
+  end

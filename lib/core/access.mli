@@ -29,9 +29,13 @@ type t = {
           observed prefix history *)
   observed_tentative : Tact_store.Write.id list;
       (** ids of the tentative suffix at service time, in local order *)
-  observed_local : Tact_store.Write.id list;
+  observed_local : Tact_store.Write.id list Lazy.t;
       (** the full local history order at service time (committed prefix then
-          tentative suffix) — input to the definitional order-error check *)
+          tentative suffix) — input to the definitional order-error check.
+          Lazy: replicas capture it as an O(1) cursor into the write log's
+          append-only commit journal (plus the tentative ids); forcing it
+          expands the cursor.  The expansion is stable — the journal is never
+          truncated — so verification may force it long after the fact. *)
   observed_result : Tact_store.Value.t;
 }
 

@@ -42,6 +42,9 @@ type pending = {
       (** a complete pull round is required: NE tighter than the declared
           bound, or staleness too tight for targeted pulls *)
   mutable p_st_tries : int;
+  mutable p_done : bool;
+      (** served, timed out or abandoned; the queue entry is dead and is
+          dropped lazily at the next pump *)
 }
 
 and pkind =
@@ -96,8 +99,9 @@ type t = {
   mutable rate_ewma : float;
   mutable last_rate_update : float;
   rates : float array;
-  mutable pending : pending list;  (** oldest first *)
-  mutable return_queue : unreturned list;  (** oldest first *)
+  mutable pending : pending Queue.t;  (** oldest first *)
+  mutable npending : int;  (** live (not [p_done]) entries in [pending] *)
+  return_queue : unreturned Queue.t;  (** oldest first *)
   conit_decls : (string, Conit.t) Hashtbl.t;
   rounds : (int, round_state) Hashtbl.t;
   mutable round_ctr : int;
@@ -139,8 +143,9 @@ let create ~id ~n ~net ~config ?on_accept () =
     rate_ewma = 0.0;
     last_rate_update = 0.0;
     rates = Array.make n 0.0;
-    pending = [];
-    return_queue = [];
+    pending = Queue.create ();
+    npending = 0;
+    return_queue = Queue.create ();
     conit_decls =
       (let tbl = Hashtbl.create (List.length config.Config.conits) in
        List.iter (fun (c : Conit.t) -> Hashtbl.replace tbl c.name c) config.Config.conits;
@@ -177,7 +182,7 @@ let db t = Wlog.db t.wlog
 let now t = Engine.now t.engine
 let connect t ~peers = t.peers <- peers
 let records t = t.records
-let pending_count t = List.length t.pending
+let pending_count t = t.npending
 
 let bookkeeping_entries t =
   Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.outstanding
@@ -204,8 +209,10 @@ let msg_size n = function
     List.fold_left (fun acc w -> acc + Write.byte_size w) 0 writes
     + (8 * n) + (8 * n) + (8 * List.length csn) + 32
   | Snapshot { snap; writes; _ } ->
-    (* Snapshots are fully serialisable, so their wire size is exact. *)
-    String.length (Codec.snapshot_to_string snap)
+    (* Snapshots are fully serialisable, so their wire size is exact — and
+       computable arithmetically, without paying for the serialisation on
+       every send. *)
+    Codec.snapshot_byte_size snap
     + List.fold_left (fun acc w -> acc + Write.byte_size w) 0 writes
     + (2 * 8 * n) + 64
   | Pull_req _ -> (8 * n) + 16
@@ -386,13 +393,11 @@ and commit_progress_primary t =
 (* Primary: assign commit sequence numbers to every known-but-unassigned
    write, in local arrival (timestamp) order. *)
 and primary_assign t =
-  List.iter
-    (fun (w : Write.t) ->
+  Wlog.iter_tentative t.wlog (fun (w : Write.t) ->
       if not (Hashtbl.mem t.in_csn w.id) then begin
         Hashtbl.replace t.in_csn w.id ();
         Csn_buffer.append t.csn w.id
       end)
-    (Wlog.tentative t.wlog)
 
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
@@ -443,13 +448,17 @@ and deps_satisfied t p =
 
 (* The observed prefix of an access is its origin's history when the access
    is served but before the access itself applies — capture it first, then
-   finalise with times and result. *)
+   finalise with times and result.  The committed part is captured as an O(1)
+   cursor into the log's append-only commit journal and only expanded if a
+   consumer forces [observed_local]; the tentative ids are captured eagerly
+   (their deque mutates), but that cost is bounded by the commit lag, not by
+   history. *)
 and capture_observation t =
   let vector = Version_vector.copy (Wlog.vector t.wlog) in
-  let tentative = List.map (fun (w : Write.t) -> w.id) (Wlog.tentative t.wlog) in
-  let local =
-    List.map (fun (w : Write.t) -> w.id) (Wlog.committed t.wlog) @ tentative
-  in
+  let tentative = Wlog.tentative_ids t.wlog in
+  let lo, hi = Wlog.commit_cursor t.wlog in
+  let wlog = t.wlog in
+  let local = lazy (Wlog.commit_slice wlog ~lo ~hi @ tentative) in
   (vector, tentative, local)
 
 and access_record t ~kind ~obs:(vector, tentative, local) ~submit ~serve
@@ -524,10 +533,10 @@ and serve_write t p op affects k =
       for j = 0 to t.n - 1 do
         if j <> t.rid then send_pull t ~dst:j ~round:0
       done;
-    t.return_queue <-
-      t.return_queue
-      @ [ { u_write = w; u_outcome = outcome; u_wait_commit = wait_commit;
-            u_record = record; u_k = k } ];
+    Queue.push
+      { u_write = w; u_outcome = outcome; u_wait_commit = wait_commit;
+        u_record = record; u_k = k }
+      t.return_queue;
     ensure_retry t
   end
 
@@ -642,41 +651,48 @@ and trigger_syncs t p =
 and pump t =
   (* Parked accesses (any order — self-determination keeps them independent).
      Serving an access runs its continuation, which may submit — and park —
-     further accesses; work over a snapshot and merge what accumulated. *)
-  let snapshot = t.pending in
-  t.pending <- [];
-  let still_pending =
-    List.filter
-      (fun p ->
-        if deps_satisfied t p then begin
-          (match p.p_kind with
-          | Pread (f, k) -> serve_read t p f k
-          | Pwrite (op, affects, k) -> serve_write t p op affects k);
-          false
-        end
-        else true)
-      snapshot
-  in
-  t.pending <- still_pending @ t.pending;
+     further accesses; work over a snapshot and merge what accumulated.  Dead
+     entries ([p_done]: timed out or abandoned) are dropped here. *)
+  let snapshot = Queue.create () in
+  Queue.transfer t.pending snapshot;
+  let keep = Queue.create () in
+  Queue.iter
+    (fun p ->
+      if p.p_done then ()
+      else if deps_satisfied t p then begin
+        p.p_done <- true;
+        t.npending <- t.npending - 1;
+        match p.p_kind with
+        | Pread (f, k) -> serve_read t p f k
+        | Pwrite (op, affects, k) -> serve_write t p op affects k
+      end
+      else Queue.push p keep)
+    snapshot;
+  (* Entries parked during serving come after the survivors, preserving the
+     oldest-first order. *)
+  Queue.transfer t.pending keep;
+  t.pending <- keep;
   (* Return queue: FIFO, release writes whose budget cleared (and, for
      commit-synchronous ones, that have committed). *)
   let rec drain () =
-    match t.return_queue with
-    | u :: rest when over_budget_peers t u.u_write = [] -> (
-      let final = Wlog.final_outcome t.wlog u.u_write.id in
-      match (u.u_wait_commit, final) with
-      | true, None -> ()
-      | false, _ | true, Some _ ->
-        let outcome =
-          match (u.u_wait_commit, final) with
-          | true, Some f -> f
-          | _ -> u.u_outcome
-        in
-        t.return_queue <- rest;
-        t.records <- u.u_record (now t) outcome :: t.records;
-        u.u_k outcome;
-        drain ())
-    | _ -> ()
+    if not (Queue.is_empty t.return_queue) then begin
+      let u = Queue.peek t.return_queue in
+      if over_budget_peers t u.u_write = [] then begin
+        let final = Wlog.final_outcome t.wlog u.u_write.id in
+        match (u.u_wait_commit, final) with
+        | true, None -> ()
+        | false, _ | true, Some _ ->
+          let outcome =
+            match (u.u_wait_commit, final) with
+            | true, Some f -> f
+            | _ -> u.u_outcome
+          in
+          ignore (Queue.pop t.return_queue);
+          t.records <- u.u_record (now t) outcome :: t.records;
+          u.u_k outcome;
+          drain ()
+      end
+    end
   in
   drain ()
 
@@ -684,15 +700,16 @@ and ensure_retry t =
   if not t.retry_running then begin
     t.retry_running <- true;
     let rec tick () =
-      if t.pending = [] && t.return_queue = [] then t.retry_running <- false
+      if t.npending = 0 && Queue.is_empty t.return_queue then
+        t.retry_running <- false
       else if not t.up then
         (* Stay armed; resume after recovery. *)
         Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
       else begin
         commit_progress t;
-        List.iter (fun p -> trigger_syncs t p) t.pending;
+        Queue.iter (fun p -> if not p.p_done then trigger_syncs t p) t.pending;
         (* Re-sync for stalled returns (covers loss under partitions). *)
-        List.iter
+        Queue.iter
           (fun u ->
             List.iter
               (fun j -> send t ~dst:j (make_transfer t ~dst:j ~kind:`Push))
@@ -741,7 +758,7 @@ and process t msg =
         st.remaining <- st.remaining - 1;
         if st.remaining <= 0 then begin
           Hashtbl.remove t.rounds round;
-          List.iter
+          Queue.iter
             (fun p -> if p.p_round = Some round then p.p_round_done <- true)
             t.pending
         end
@@ -786,7 +803,7 @@ and process t msg =
           st.remaining <- st.remaining - 1;
           if st.remaining <= 0 then begin
             Hashtbl.remove t.rounds round;
-            List.iter
+            Queue.iter
               (fun p -> if p.p_round = Some round then p.p_round_done <- true)
               t.pending
           end
@@ -810,7 +827,8 @@ let admit t ?deadline p =
       (Printf.sprintf "%s with %d deps"
          (match p.p_kind with Pread _ -> "read" | Pwrite _ -> "write")
          (List.length p.p_deps));
-    t.pending <- t.pending @ [ p ];
+    Queue.push p t.pending;
+    t.npending <- t.npending + 1;
     trigger_syncs t p;
     (* Triggering may have satisfied the access synchronously (e.g. a pull
        round degenerates to nothing at n = 1). *)
@@ -818,13 +836,15 @@ let admit t ?deadline p =
     ensure_retry t;
     (* A deadline bounds how long the client is willing to wait for its
        consistency level — the availability side of the tradeoff.  If the
-       access is still parked when the deadline fires, it is abandoned. *)
+       access is still parked when the deadline fires, it is abandoned (the
+       queue entry is marked dead and dropped at the next pump). *)
     match deadline with
     | None -> ()
     | Some d ->
       Engine.schedule t.engine ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
-          if List.memq p t.pending then begin
-            t.pending <- List.filter (fun q -> not (q == p)) t.pending;
+          if not p.p_done then begin
+            p.p_done <- true;
+            t.npending <- t.npending - 1;
             t.s_timeouts <- t.s_timeouts + 1;
             match p.p_on_timeout with Some f -> f () | None -> ()
           end)
@@ -842,6 +862,7 @@ let submit_read ?require ?deadline ?on_timeout t ~deps ~f ~k =
       p_round_done = false;
       p_needs_round = List.exists (needs_ne_round t) deps;
       p_st_tries = 0;
+      p_done = false;
     }
   in
   admit t ?deadline p
@@ -858,6 +879,7 @@ let submit_write ?require ?deadline ?on_timeout t ~deps ~affects ~op ~k =
       p_round_done = false;
       p_needs_round = List.exists (needs_ne_round t) deps;
       p_st_tries = 0;
+      p_done = false;
     }
   in
   admit t ?deadline p
@@ -871,10 +893,15 @@ let crash t =
     t.up <- false;
     t.crashes <- t.crashes + 1;
     let parked = t.pending in
-    t.pending <- [];
+    t.pending <- Queue.create ();
+    t.npending <- 0;
     Hashtbl.reset t.rounds;
-    List.iter
-      (fun p -> match p.p_on_timeout with Some f -> f () | None -> ())
+    Queue.iter
+      (fun p ->
+        if not p.p_done then begin
+          p.p_done <- true;
+          match p.p_on_timeout with Some f -> f () | None -> ()
+        end)
       parked
   end
 
@@ -886,7 +913,7 @@ let recover t =
     for j = 0 to t.n - 1 do
       if j <> t.rid then send_pull t ~dst:j ~round:0
     done;
-    if t.return_queue <> [] then ensure_retry t
+    if not (Queue.is_empty t.return_queue) then ensure_retry t
   end
 
 let is_up t = t.up

@@ -30,7 +30,7 @@ let access_metrics sys (a : Access.t) =
   let observed = List.filter (fun (w : Write.t) -> observed_pred w.id) all in
   let ecg = all (* already canonical *) in
   let local_writes =
-    List.filter_map (System.find_write sys) a.observed_local
+    List.filter_map (System.find_write sys) (Lazy.force a.observed_local)
   in
   let tentative_writes =
     List.filter_map (System.find_write sys) a.observed_tentative

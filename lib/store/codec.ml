@@ -222,6 +222,33 @@ let decode_snapshot c =
   { Wlog.snap_db; snap_vector; snap_ncommitted; snap_values }
 
 (* ------------------------------------------------------------------ *)
+(* Arithmetic sizes: the encoded byte count without materialising the
+   encoding.  Must mirror the encoders above exactly — checked by a test
+   against [snapshot_to_string]. *)
+
+let rec value_byte_size (v : Value.t) =
+  match v with
+  | Value.Nil -> 1
+  | Value.Int _ | Value.Float _ -> 1 + 8
+  | Value.Str s -> 1 + 8 + String.length s
+  | Value.List l -> 1 + 8 + List.fold_left (fun acc x -> acc + value_byte_size x) 0 l
+
+let snapshot_byte_size (s : Wlog.snapshot) =
+  let vector = 8 * (1 + Version_vector.size s.snap_vector) in
+  let values =
+    List.fold_left
+      (fun acc (conit, _) -> acc + 8 + String.length conit + 8)
+      8 s.snap_values
+  in
+  let db =
+    List.fold_left
+      (fun acc k -> acc + 8 + String.length k + value_byte_size (Db.get s.snap_db k))
+      8
+      (Db.keys s.snap_db)
+  in
+  vector + 8 (* ncommitted *) + values + db
+
+(* ------------------------------------------------------------------ *)
 (* Whole messages and files *)
 
 let to_string f x =

@@ -35,6 +35,15 @@ val decode_vector : cursor -> Version_vector.t
 val encode_snapshot : Buffer.t -> Wlog.snapshot -> unit
 val decode_snapshot : cursor -> Wlog.snapshot
 
+(** {2 Arithmetic sizes} *)
+
+val value_byte_size : Value.t -> int
+(** [String.length (to_string encode_value v)] without encoding. *)
+
+val snapshot_byte_size : Wlog.snapshot -> int
+(** [String.length (snapshot_to_string snap)] without encoding — for wire-size
+    accounting on every snapshot send without paying for serialisation. *)
+
 (** {2 Whole-message helpers} *)
 
 val write_to_string : Write.t -> string

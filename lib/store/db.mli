@@ -2,10 +2,15 @@
 
     Each replica maintains two images (see {!Wlog}): one reflecting only the
     committed prefix of the write log, and the full view including tentative
-    writes.  Rollback/reapply of tentative writes works by copying the
-    committed image and replaying. *)
+    writes.  Rollback of tentative writes works by journalling each write's
+    mutations as it is applied ({!recording}) and replaying the journal
+    backwards ({!revert}) — so a rollback costs the size of the undone suffix,
+    not of the whole image. *)
 
 type t
+
+type undo
+(** A journal of mutations, sufficient to revert them (opaque). *)
 
 val create : (string * Value.t) list -> t
 val copy : t -> t
@@ -27,5 +32,17 @@ val append : t -> string -> Value.t -> unit
     the head. *)
 
 val keys : t -> string list
+
 val equal : t -> t -> bool
+(** Value equality of the two images (missing keys read as [Nil]);
+    short-circuits on the first mismatch. *)
+
 val size : t -> int
+
+val recording : t -> (unit -> 'a) -> 'a * undo
+(** Run the thunk with mutation journalling on, returning its result and the
+    undo record for everything it changed.  Recordings do not nest. *)
+
+val revert : t -> undo -> unit
+(** Revert the mutations captured by a {!recording}.  Undo records must be
+    reverted newest-recording-first to restore a past state. *)

@@ -1,3 +1,5 @@
+open Tact_util
+
 type insertion = Inserted of Op.outcome | Duplicate | Buffered
 
 type snapshot = {
@@ -7,16 +9,30 @@ type snapshot = {
   snap_values : (string * float) list;
 }
 
-(* The tentative suffix is stored newest-first ([tent_rev]) so that the common
-   case — a write landing at the tail of the timestamp order — is a constant
-   time cons.  All consumers that need oldest-first order reverse it. *)
+(* Both halves of the log are indexed deques kept in their canonical orders:
+   the committed prefix in commit order (append at the back on commit, drop
+   from the front on truncation — a pointer bump) and the tentative suffix in
+   timestamp order (binary-search insertion; the common landing-at-the-tail
+   case is a plain append).
+
+   [undo] runs parallel to [tent]: [undo.(i)] journals the db mutations made
+   when [tent.(i)] was (re)applied to the full image.  An out-of-order
+   arrival at position [p] is absorbed by reverting journals back to [p] and
+   re-executing only [tent.(p..)] — O(suffix beyond the insertion point)
+   instead of copying the committed image and replaying everything.
+
+   [journal] records the id of every write this log has ever committed, in
+   commit order, and is never truncated: observation capture ({!commit_cursor})
+   reduces to a pair of indices into it. *)
 type t = {
   nreplicas : int;
   initial : (string * Value.t) list;
-  mutable committed_rev : Write.t list; (* committed prefix, newest first *)
+  committed : Write.t Deque.t; (* retained committed prefix, commit order *)
+  journal : Write.id Vec.t; (* every commit ever, commit order; never truncated *)
   mutable ncommitted : int;
   mutable committed_db : Db.t;
-  mutable tent_rev : Write.t list; (* tentative suffix, ts order reversed *)
+  tent : Write.t Deque.t; (* tentative suffix, timestamp order *)
+  undo : Db.undo Deque.t; (* undo.(i) reverts the application of tent.(i) *)
   mutable full_db : Db.t;
   vector : Version_vector.t;
   committed_vec : Version_vector.t;  (* writes in the committed prefix *)
@@ -36,10 +52,12 @@ let create ~replicas ~initial =
   {
     nreplicas = replicas;
     initial;
-    committed_rev = [];
+    committed = Deque.create ();
+    journal = Vec.create ();
     ncommitted = 0;
     committed_db = Db.create initial;
-    tent_rev = [];
+    tent = Deque.create ();
+    undo = Deque.create ();
     full_db = Db.create initial;
     vector = Version_vector.create replicas;
     committed_vec = Version_vector.create replicas;
@@ -72,53 +90,73 @@ let register t (w : Write.t) =
       htbl_add t.tent_oweights conit oweight)
     w.affects
 
-let apply_tentative t (w : Write.t) =
-  let outcome = Op.apply w.op t.full_db in
+(* Apply one tentative write to the full image, journalling its mutations so
+   it can be rolled back, and (re-)recording its outcome — outcomes may
+   change across reorderings; that is the point of write procedures. *)
+let apply_one t (w : Write.t) =
+  let outcome, u = Db.recording t.full_db (fun () -> Op.apply w.op t.full_db) in
   Hashtbl.replace t.outcomes w.id outcome;
+  Deque.push_back t.undo u;
   outcome
 
-(* Rebuild the full image by replaying the tentative suffix over a fresh copy
-   of the committed image, re-recording outcomes (they may change — that is
-   the point of write procedures under reordering). *)
-let replay t =
-  t.nrollbacks <- t.nrollbacks + 1;
-  t.full_db <- Db.copy t.committed_db;
-  List.iter (fun w -> ignore (apply_tentative t w)) (List.rev t.tent_rev)
+(* Revert tentative applications down to position [pos] (exclusive). *)
+let rollback_to t pos =
+  while Deque.length t.undo > pos do
+    Db.revert t.full_db (Deque.pop_back t.undo)
+  done
 
-(* Insert into the tentative suffix; returns true when the write lands at the
-   tail of the timestamp order (no rollback needed). *)
-let insert_sorted t w =
-  match t.tent_rev with
-  | [] ->
-    t.tent_rev <- [ w ];
-    true
-  | newest :: _ when Write.ts_compare newest w < 0 ->
-    t.tent_rev <- w :: t.tent_rev;
-    true
-  | _ ->
-    (* Insert into the descending-order list. *)
-    let rec ins = function
-      | [] -> [ w ]
-      | x :: tl as l -> if Write.ts_compare w x > 0 then w :: l else x :: ins tl
-    in
-    t.tent_rev <- ins t.tent_rev;
-    false
+let reapply_from t pos =
+  for i = pos to Deque.length t.tent - 1 do
+    ignore (apply_one t (Deque.get t.tent i))
+  done
+
+(* Full re-derivation of the image — only for paths where the committed order
+   itself changed (CSN reorder, snapshot installation). *)
+let rebuild t =
+  t.full_db <- Db.copy t.committed_db;
+  Deque.clear t.undo;
+  reapply_from t 0
+
+(* Insert into the tentative suffix at its timestamp-order position (without
+   applying); returns the insertion index. *)
+let insert_tent t (w : Write.t) =
+  let n = Deque.length t.tent in
+  if n = 0 || Write.ts_compare (Deque.get t.tent (n - 1)) w < 0 then begin
+    Deque.push_back t.tent w;
+    n
+  end
+  else begin
+    let pos = Deque.upper_bound t.tent ~cmp:Write.ts_compare w in
+    Deque.insert t.tent pos w;
+    pos
+  end
 
 let next_seq t origin = Version_vector.get t.vector origin + 1
+
+(* Bring the full image back in sync after one or more insertions, given the
+   number of applied entries beforehand and the minimum insertion index.
+   Pure tail appends need no rollback; anything else reverts the suffix from
+   the first disturbed position and re-executes it. *)
+let finish_inserts t ~applied ~minpos =
+  if minpos < applied then begin
+    t.nrollbacks <- t.nrollbacks + 1;
+    rollback_to t minpos;
+    reapply_from t minpos
+  end
+  else reapply_from t applied
 
 let accept t (w : Write.t) =
   if w.id.seq <> next_seq t w.id.origin then
     invalid_arg
       (Printf.sprintf "Wlog.accept: %s out of sequence (expected seq %d)"
          (Write.id_to_string w.id) (next_seq t w.id.origin));
+  let applied = Deque.length t.undo in
   register t w;
-  if insert_sorted t w then apply_tentative t w
-  else begin
-    replay t;
-    match Hashtbl.find_opt t.outcomes w.id with
-    | Some o -> o
-    | None -> assert false
-  end
+  let pos = insert_tent t w in
+  finish_inserts t ~applied ~minpos:pos;
+  match Hashtbl.find_opt t.outcomes w.id with
+  | Some o -> o
+  | None -> assert false
 
 let known t id =
   Version_vector.covers t.vector ~origin:id.Write.origin ~seq:id.Write.seq
@@ -126,62 +164,60 @@ let known t id =
 (* Drain the pending buffer for an origin after its gap filled.  Each drained
    write must be registered before looking for the next one — registration is
    what advances the vector the lookup keys on. *)
-let rec drain_pending t origin acc =
+let rec drain_pending t origin acc minpos =
   let id = { Write.origin; seq = next_seq t origin } in
   match Hashtbl.find_opt t.pending id with
-  | None -> List.rev acc
+  | None -> (List.rev acc, minpos)
   | Some w ->
     Hashtbl.remove t.pending id;
     register t w;
-    ignore (insert_sorted t w);
-    drain_pending t origin (w :: acc)
+    let pos = insert_tent t w in
+    drain_pending t origin (w :: acc) (min minpos pos)
 
-let insert_one t (w : Write.t) =
-  if known t w.id then `Duplicate
+(* Insert a fresh write plus whatever its arrival releases from the pending
+   buffer; returns the fresh writes (oldest first) and the minimum insertion
+   index.  Does not touch the full image — callers finish with
+   {!finish_inserts}. *)
+let insert_positions t (w : Write.t) =
+  register t w;
+  let pos = insert_tent t w in
+  let drained, minpos = drain_pending t w.id.origin [] pos in
+  (w :: drained, minpos)
+
+let insert t (w : Write.t) =
+  if known t w.id then Duplicate
   else if w.id.seq > next_seq t w.id.origin then begin
     Hashtbl.replace t.pending w.id w;
-    `Buffered
+    Buffered
   end
   else begin
-    register t w;
-    let at_tail = insert_sorted t w in
-    let ready = drain_pending t w.id.origin [] in
-    `Inserted (at_tail && ready = [], w :: ready)
+    let applied = Deque.length t.undo in
+    let _, minpos = insert_positions t w in
+    finish_inserts t ~applied ~minpos;
+    match Hashtbl.find_opt t.outcomes w.id with
+    | Some o -> Inserted o
+    | None -> assert false
   end
 
-let insert t w =
-  match insert_one t w with
-  | `Duplicate -> Duplicate
-  | `Buffered -> Buffered
-  | `Inserted (at_tail, fresh) ->
-    let only_w = match fresh with [ x ] -> x.Write.id = w.Write.id | _ -> false in
-    if at_tail && only_w then Inserted (apply_tentative t w)
-    else begin
-      replay t;
-      match Hashtbl.find_opt t.outcomes w.id with
-      | Some o -> Inserted o
-      | None -> assert false
-    end
-
 let insert_batch t ws =
-  (* Apply cheaply when everything lands at the tail; otherwise one replay. *)
+  (* One rollback/re-execution for the whole batch, from the lowest position
+     any of its writes landed at. *)
   let sorted = List.sort Write.ts_compare ws in
+  let applied = Deque.length t.undo in
   let fresh = ref [] in
-  let clean = ref true in
+  let minpos = ref max_int in
   List.iter
-    (fun w ->
-      match insert_one t w with
-      | `Duplicate -> ()
-      | `Buffered -> ()
-      | `Inserted (at_tail, new_writes) ->
-        fresh := List.rev_append new_writes !fresh;
-        let only_w =
-          match new_writes with [ x ] -> x.Write.id = w.Write.id | _ -> false
-        in
-        if at_tail && only_w && !clean then ignore (apply_tentative t w)
-        else clean := false)
+    (fun (w : Write.t) ->
+      if known t w.id then ()
+      else if w.id.seq > next_seq t w.id.origin then
+        Hashtbl.replace t.pending w.id w
+      else begin
+        let new_writes, mp = insert_positions t w in
+        minpos := min !minpos mp;
+        fresh := List.rev_append new_writes !fresh
+      end)
     sorted;
-  if not !clean then replay t;
+  if !fresh <> [] then finish_inserts t ~applied ~minpos:(min !minpos applied);
   List.sort Write.ts_compare !fresh
 
 let vector t = t.vector
@@ -203,8 +239,10 @@ let writes_since t v =
 
 let db t = t.full_db
 let committed_db t = t.committed_db
-let tentative t = List.rev t.tent_rev
-let committed t = List.rev t.committed_rev
+let tentative t = Deque.to_list t.tent
+let tentative_ids t = List.init (Deque.length t.tent) (fun i -> (Deque.get t.tent i).Write.id)
+let iter_tentative t f = Deque.iter f t.tent
+let committed t = Deque.to_list t.committed
 let committed_count t = t.ncommitted
 let num_known t = Hashtbl.length t.by_id
 
@@ -216,7 +254,8 @@ let commit_one t (w : Write.t) =
   Hashtbl.replace t.committed_ids w.id ();
   Version_vector.set t.committed_vec w.id.origin
     (max w.id.seq (Version_vector.get t.committed_vec w.id.origin));
-  t.committed_rev <- w :: t.committed_rev;
+  Deque.push_back t.committed w;
+  Vec.push t.journal w.id;
   t.ncommitted <- t.ncommitted + 1;
   List.iter
     (fun { Write.conit; nweight; oweight } ->
@@ -240,15 +279,19 @@ let stable ~cover (w : Write.t) =
 let commit_stable t ~cover =
   if Array.length cover <> t.nreplicas then
     invalid_arg "Wlog.commit_stable: cover arity mismatch";
-  let rec take n = function
-    | w :: rest when stable ~cover w ->
-      commit_one t w;
-      take (n + 1) rest
-    | rest ->
-      t.tent_rev <- List.rev rest;
-      n
-  in
-  take 0 (List.rev t.tent_rev)
+  (* Commit order equals timestamp order here, so the full image and the
+     suffix's undo journals beyond the frontier are untouched: committing is
+     a front pop (the popped undo journal dissolves into the base image). *)
+  let n = ref 0 in
+  while
+    (not (Deque.is_empty t.tent)) && stable ~cover (Deque.peek_front t.tent)
+  do
+    let w = Deque.pop_front t.tent in
+    ignore (Deque.pop_front t.undo);
+    commit_one t w;
+    incr n
+  done;
+  !n
 
 let commit_ids t ids =
   let n = ref 0 in
@@ -258,16 +301,31 @@ let commit_ids t ids =
       if known t id && not (Hashtbl.mem t.committed_ids id) then begin
         let w = Hashtbl.find t.by_id id in
         (* Commit order agrees with the full-image order only when the write
-           being committed is the oldest tentative one. *)
-        (match List.rev t.tent_rev with
-        | oldest :: _ when oldest.Write.id = id -> ()
-        | _ -> reordered := true);
-        t.tent_rev <- List.filter (fun x -> x.Write.id <> id) t.tent_rev;
+           being committed is the oldest tentative one — then committing is a
+           front pop.  Otherwise remove it from the middle and re-derive the
+           image once, after the batch. *)
+        if
+          (not !reordered)
+          && (not (Deque.is_empty t.tent))
+          && (Deque.peek_front t.tent).Write.id = id
+        then begin
+          ignore (Deque.pop_front t.tent);
+          ignore (Deque.pop_front t.undo)
+        end
+        else begin
+          reordered := true;
+          let pos = Deque.upper_bound t.tent ~cmp:Write.ts_compare w - 1 in
+          assert (pos >= 0 && (Deque.get t.tent pos).Write.id = id);
+          ignore (Deque.remove t.tent pos)
+        end;
         commit_one t w;
         incr n
       end)
     ids;
-  if !n > 0 && !reordered then replay t;
+  if !reordered then begin
+    t.nrollbacks <- t.nrollbacks + 1;
+    rebuild t
+  end;
   !n
 
 let tentative_oweight t conit = htbl_get t.tent_oweights conit
@@ -283,31 +341,38 @@ let final_outcome t id = Hashtbl.find_opt t.finals id
 let rollbacks t = t.nrollbacks
 
 (* ------------------------------------------------------------------ *)
+(* Observation capture                                                 *)
+
+(* The retained committed prefix is always the most recent slice of the
+   commit journal (commits append to both; truncation and snapshot
+   installation only shorten the retained deque), so an access's observed
+   committed prefix is fully described by two journal indices — and because
+   the journal is append-only, the slice can be expanded at any later time. *)
+let commit_cursor t =
+  let hi = Vec.length t.journal in
+  (hi - Deque.length t.committed, hi)
+
+let commit_slice t ~lo ~hi = List.init (hi - lo) (fun i -> Vec.get t.journal (lo + i))
+
+(* ------------------------------------------------------------------ *)
 (* Truncation and snapshots                                            *)
 
-let retained t = List.length t.committed_rev
+let retained t = Deque.length t.committed
 
 let committed_vector t = t.committed_vec
 
 let truncate t ~keep =
-  let n = retained t in
+  let n = Deque.length t.committed in
   if n <= keep then 0
   else begin
-    (* committed_rev is newest-first: keep the first [keep], drop the rest. *)
-    let rec split i acc = function
-      | [] -> (List.rev acc, [])
-      | l when i = keep -> (List.rev acc, l)
-      | x :: tl -> split (i + 1) (x :: acc) tl
-    in
-    let kept_rev, dropped = split 0 [] t.committed_rev in
-    t.committed_rev <- kept_rev;
-    List.iter
-      (fun (w : Write.t) ->
-        Hashtbl.remove t.by_id w.id;
-        Version_vector.set t.trunc_vec w.id.origin
-          (max w.id.seq (Version_vector.get t.trunc_vec w.id.origin)))
-      dropped;
-    List.length dropped
+    let drop = n - keep in
+    for _ = 1 to drop do
+      let w = Deque.pop_front t.committed in
+      Hashtbl.remove t.by_id w.Write.id;
+      Version_vector.set t.trunc_vec w.id.origin
+        (max w.id.seq (Version_vector.get t.trunc_vec w.id.origin))
+    done;
+    drop
   end
 
 let can_serve t v = Version_vector.dominates v t.trunc_vec
@@ -343,35 +408,41 @@ let install_snapshot t snap =
       Version_vector.set t.trunc_vec o
         (max (Version_vector.get t.trunc_vec o) (Version_vector.get snap.snap_vector o))
     done;
-    (* Retained committed records are all covered by the snapshot; drop them. *)
-    List.iter (fun (w : Write.t) -> Hashtbl.remove t.by_id w.id) t.committed_rev;
-    t.committed_rev <- [];
+    (* Retained committed records are all covered by the snapshot; drop them.
+       (The commit journal keeps their ids: it describes this log's own
+       commit history, which the snapshot does not rewrite.) *)
+    Deque.iter (fun (w : Write.t) -> Hashtbl.remove t.by_id w.Write.id) t.committed;
+    Deque.clear t.committed;
     Hashtbl.reset t.committed_values;
     List.iter (fun (k, v) -> Hashtbl.replace t.committed_values k v) snap.snap_values;
     (* Tentative writes the snapshot covers were committed remotely — drop
        them (their final outcomes are not locally recoverable); keep and
        replay the rest. *)
-    let kept, folded = List.partition (fun w -> not (covered w)) t.tent_rev in
-    List.iter
+    let kept = ref [] in
+    Deque.iter
       (fun (w : Write.t) ->
-        Hashtbl.remove t.by_id w.id;
-        Hashtbl.replace t.committed_ids w.id ())
-      folded;
-    t.tent_rev <- kept;
+        if covered w then begin
+          Hashtbl.remove t.by_id w.id;
+          Hashtbl.replace t.committed_ids w.id ()
+        end
+        else kept := w :: !kept)
+      t.tent;
+    Deque.clear t.tent;
+    List.iter (Deque.push_back t.tent) (List.rev !kept);
     (* Rebuild the derived quantities: known vector, conit values, tentative
        oweights. *)
     Version_vector.merge_into t.vector snap.snap_vector;
     Hashtbl.reset t.tent_oweights;
     Hashtbl.reset t.values;
     Hashtbl.iter (fun k v -> Hashtbl.replace t.values k v) t.committed_values;
-    List.iter
+    Deque.iter
       (fun (w : Write.t) ->
         List.iter
           (fun { Write.conit; nweight; oweight } ->
             htbl_add t.values conit nweight;
             htbl_add t.tent_oweights conit oweight)
           w.affects)
-      kept;
+      t.tent;
     (* Drop pending-buffer entries the snapshot already covers. *)
     let stale =
       Hashtbl.fold
@@ -382,6 +453,7 @@ let install_snapshot t snap =
         t.pending []
     in
     List.iter (Hashtbl.remove t.pending) stale;
-    replay t;
+    t.nrollbacks <- t.nrollbacks + 1;
+    rebuild t;
     true
   end

@@ -56,6 +56,14 @@ val committed_db : t -> Db.t
 val tentative : t -> Write.t list
 (** The tentative suffix, in timestamp order. *)
 
+val tentative_ids : t -> Write.id list
+(** Ids of the tentative suffix, in timestamp order — O(suffix), which is
+    bounded by the commit lag, not by history. *)
+
+val iter_tentative : t -> (Write.t -> unit) -> unit
+(** Iterate the tentative suffix in timestamp order without materialising a
+    list. *)
+
 val committed : t -> Write.t list
 (** The committed prefix, in commit order. *)
 
@@ -98,6 +106,25 @@ val final_outcome : t -> Write.id -> Op.outcome option
 
 val rollbacks : t -> int
 (** Number of rollback/reapply episodes (a cost metric). *)
+
+(** {2 Observation capture}
+
+    Serving an access must record which writes it observed (for later
+    consistency verification) without walking the whole committed prefix.
+    The log keeps an append-only journal of every commit it has ever made;
+    the retained committed prefix is always the most recent slice of that
+    journal, so the observation reduces to a pair of journal indices captured
+    in O(1) and expandable at any later time. *)
+
+val commit_cursor : t -> int * int
+(** [(lo, hi)]: the journal range holding the currently retained committed
+    prefix, in commit order.  O(1).  Because the journal is append-only, the
+    range denotes the same writes forever. *)
+
+val commit_slice : t -> lo:int -> hi:int -> Write.id list
+(** Expand a cursor captured earlier by {!commit_cursor} into the ids it
+    denotes, in commit order.  [lo]/[hi] must come from a cursor captured on
+    this log. *)
 
 (** {2 Log truncation and snapshots}
 

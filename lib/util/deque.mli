@@ -1,0 +1,40 @@
+(** Growable array with a head offset: the indexed backing store for the
+    write log.  O(1) amortised [push_back]/[pop_front], O(log n)
+    [upper_bound], O(distance-to-tail) mid insertion/removal.  Front slack
+    left by pops is reclaimed once it exceeds the live length, keeping memory
+    within a constant factor of the live contents. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Logical index: 0 is the front element. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push_back : 'a t -> 'a -> unit
+val peek_front : 'a t -> 'a
+val pop_front : 'a t -> 'a
+val pop_back : 'a t -> 'a
+
+val drop_front : 'a t -> int -> unit
+(** Discard the first [n] elements (a pointer bump plus occasional
+    compaction). *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** Insert before logical index [i], shifting the tail side right. *)
+
+val remove : 'a t -> int -> 'a
+(** Remove and return the element at logical index [i]. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+
+val upper_bound : 'a t -> cmp:('a -> 'a -> int) -> 'a -> int
+(** Index of the first element comparing greater than the probe — the
+    insertion point that keeps a [cmp]-sorted deque sorted.  The deque must
+    be sorted by [cmp]. *)

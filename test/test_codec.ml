@@ -173,6 +173,49 @@ let test_snapshot_file_roundtrip () =
   Alcotest.(check bool) "state restored" true
     (feq (Db.get_float (Wlog.db dst) "x") 10.0)
 
+(* The arithmetic sizes must agree exactly with the encoders they mirror —
+   replicas account snapshot wire sizes without serialising. *)
+let test_byte_sizes () =
+  let values =
+    [
+      Value.Nil;
+      Value.Int 42;
+      Value.Float 3.25;
+      Value.Str "";
+      Value.Str "hello";
+      Value.List [];
+      Value.List [ Value.Int 1; Value.Str "x"; Value.List [ Value.Nil ] ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 32 in
+      Codec.encode_value buf v;
+      Alcotest.(check int) "value size" (Buffer.length buf) (Codec.value_byte_size v))
+    values;
+  let log =
+    Wlog.create ~replicas:3
+      ~initial:[ ("greet", Value.Str "hi"); ("xs", Value.List [ Value.Int 7 ]) ]
+  in
+  for seq = 1 to 8 do
+    ignore
+      (Wlog.accept log
+         {
+           Write.id = { origin = 0; seq };
+           accept_time = float_of_int seq;
+           op =
+             (if seq mod 2 = 0 then Op.Add ("x", 1.5)
+              else Op.Append ("xs", Value.Str (String.make seq 'a')));
+           affects = [ { Write.conit = "conit-" ^ string_of_int (seq mod 2);
+                         nweight = 1.0; oweight = 0.5 } ];
+         })
+  done;
+  ignore (Wlog.commit_stable log ~cover:[| infinity; infinity; infinity |]);
+  let snap = Wlog.snapshot log in
+  Alcotest.(check int) "snapshot size"
+    (String.length (Codec.snapshot_to_string snap))
+    (Codec.snapshot_byte_size snap)
+
 let test_snapshot_bad_magic () =
   let path = Filename.temp_file "tact_snap" ".bin" in
   let oc = open_out_bin path in
@@ -198,6 +241,7 @@ let base_suite =
     Alcotest.test_case "vector round trip" `Quick test_vector_roundtrip;
     Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
     Alcotest.test_case "snapshot file round trip" `Quick test_snapshot_file_roundtrip;
+    Alcotest.test_case "arithmetic byte sizes" `Quick test_byte_sizes;
     Alcotest.test_case "snapshot bad magic" `Quick test_snapshot_bad_magic;
   ]
 

@@ -214,7 +214,7 @@ let test_access_deps () =
       deps = [ { Access.conit = "a"; bound = Bounds.strong } ];
       observed_vector = Version_vector.create 2;
       observed_tentative = [];
-      observed_local = [];
+      observed_local = lazy [];
       observed_result = Value.Nil;
     }
   in

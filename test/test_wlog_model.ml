@@ -192,4 +192,280 @@ let test_truncation_preserves_state =
          && Wlog.committed_count log = before_count
          && Wlog.retained log <= max keep before_count))
 
-let suite = [ test_model_equivalence; test_truncation_preserves_state ]
+(* ------------------------------------------------------------------ *)
+(* Widened differential scenarios: a thousand-plus operations per seed,
+   order-sensitive write procedures (whose outcomes flip under reordering),
+   duplicate and gapped deliveries, both commitment schemes — and the O(1)
+   observation cursors checked against the eager lists they replaced, long
+   after capture and across truncation. *)
+
+(* A faster reference model (hash-indexed rather than quadratic list scans)
+   so the scenarios can afford hundreds of writes; still recomputes the
+   database image and every outcome from scratch at each checkpoint. *)
+module Bigmodel = struct
+  type t = {
+    replicas : int;
+    by_id : (Write.id, Write.t) Hashtbl.t;
+    mutable committed : Write.id list;  (** commit order, oldest first *)
+    committed_set : (Write.id, unit) Hashtbl.t;
+  }
+
+  let create ~replicas =
+    {
+      replicas;
+      by_id = Hashtbl.create 64;
+      committed = [];
+      committed_set = Hashtbl.create 64;
+    }
+
+  let insert t (w : Write.t) =
+    if not (Hashtbl.mem t.by_id w.id) then Hashtbl.replace t.by_id w.id w
+
+  (* The contiguous per-origin prefixes of everything offered. *)
+  let known t =
+    let out = ref [] in
+    for origin = 0 to t.replicas - 1 do
+      let seq = ref 1 in
+      while Hashtbl.mem t.by_id { Write.origin; seq = !seq } do
+        out := Hashtbl.find t.by_id { Write.origin; seq = !seq } :: !out;
+        incr seq
+      done
+    done;
+    !out
+
+  let canonical t = List.sort Write.ts_compare (known t)
+
+  let tentative t =
+    List.filter
+      (fun (w : Write.t) -> not (Hashtbl.mem t.committed_set w.id))
+      (canonical t)
+
+  let commit t id =
+    t.committed <- t.committed @ [ id ];
+    Hashtbl.replace t.committed_set id ()
+
+  let commit_stable t ~cover =
+    let stable (w : Write.t) =
+      let ok = ref true in
+      Array.iteri
+        (fun o c ->
+          if o <> w.id.origin then
+            if c < w.accept_time || (c = w.accept_time && o < w.id.origin) then
+              ok := false)
+        cover;
+      !ok
+    in
+    let rec take = function
+      | (w : Write.t) :: rest when stable w ->
+        commit t w.id;
+        take rest
+      | _ -> ()
+    in
+    take (tentative t)
+
+  let commit_ids t ids =
+    List.iter
+      (fun id ->
+        if Hashtbl.mem t.by_id id && not (Hashtbl.mem t.committed_set id) then
+          commit t id)
+      ids
+
+  (* Recompute both images and every write's outcome from first principles:
+     committed writes in commit order, then the tentative suffix in timestamp
+     order. *)
+  let replay t =
+    let image = Db.create [] in
+    let outcomes = Hashtbl.create 64 in
+    List.iter
+      (fun id ->
+        Hashtbl.replace outcomes id (Op.apply (Hashtbl.find t.by_id id).Write.op image))
+      t.committed;
+    let committed_image = Db.copy image in
+    List.iter
+      (fun (w : Write.t) -> Hashtbl.replace outcomes w.id (Op.apply w.op image))
+      (tentative t);
+    (image, committed_image, outcomes)
+
+  let conit_value t conit =
+    List.fold_left (fun acc w -> acc +. Write.nweight w conit) 0.0 (known t)
+
+  let tentative_oweight t conit =
+    List.fold_left (fun acc w -> acc +. Write.oweight w conit) 0.0
+      (List.filter (fun w -> Write.affects_conit w conit) (tentative t))
+end
+
+(* An order-sensitive write procedure: applies only while the key stays under
+   a cap, so reorderings flip which writes conflict — exercising outcome
+   re-recording across rollback/reapply. *)
+let cap_add key limit delta =
+  Op.Proc
+    {
+      name = "cap_add";
+      size = 16;
+      body =
+        (fun db ->
+          let v = Db.get_float db key in
+          if v +. delta > limit then Op.Conflict "over cap"
+          else begin
+            Db.set db key (Value.Float (v +. delta));
+            Op.Applied (Value.Float (v +. delta))
+          end);
+    }
+
+let gen_big_pool rng ~replicas =
+  let pool = ref [] in
+  let clock = Array.make replicas 0.0 in
+  for origin = 0 to replicas - 1 do
+    let count = 100 + Tact_util.Prng.int rng 41 in
+    for seq = 1 to count do
+      clock.(origin) <- clock.(origin) +. Tact_util.Prng.float rng 2.0 +. 0.01;
+      let conit = Tact_util.Prng.pick rng conits in
+      let key = "k" ^ conit in
+      let op =
+        match Tact_util.Prng.int rng 4 with
+        | 0 -> Op.Add (key, Tact_util.Prng.uniform_in rng ~lo:(-1.0) ~hi:1.0)
+        | 1 -> Op.Set (key, Value.Float (Tact_util.Prng.float rng 10.0))
+        | 2 -> Op.Append (key ^ ".log", Value.Int seq)
+        | _ -> cap_add key 25.0 1.0
+      in
+      let nw = Tact_util.Prng.uniform_in rng ~lo:(-2.0) ~hi:2.0 in
+      let ow = Tact_util.Prng.float rng 2.0 in
+      pool :=
+        {
+          Write.id = { origin; seq };
+          accept_time = clock.(origin);
+          op;
+          affects = [ { Write.conit; nweight = nw; oweight = ow } ];
+        }
+        :: !pool
+    done
+  done;
+  Array.of_list !pool
+
+let agree_big log m =
+  let db_m, cdb_m, out_m = Bigmodel.replay m in
+  Db.equal (Wlog.db log) db_m
+  && Db.equal (Wlog.committed_db log) cdb_m
+  && Wlog.tentative_ids log
+     = List.map (fun (w : Write.t) -> w.Write.id) (Bigmodel.tentative m)
+  && Array.for_all
+       (fun c ->
+         feq (Wlog.conit_value log c) (Bigmodel.conit_value m c)
+         && feq (Wlog.tentative_oweight log c) (Bigmodel.tentative_oweight m c))
+       conits
+  && List.for_all
+       (fun (w : Write.t) -> Wlog.outcome log w.id = Some (Hashtbl.find out_m w.id))
+       (Bigmodel.tentative m)
+  && List.for_all
+       (fun id -> Wlog.final_outcome log id = Some (Hashtbl.find out_m id))
+       m.Bigmodel.committed
+
+let run_big_scenario ~scheme seed =
+  let rng = Tact_util.Prng.create ~seed in
+  let replicas = 4 in
+  let pool = gen_big_pool rng ~replicas in
+  Tact_util.Prng.shuffle rng pool;
+  let log = Wlog.create ~replicas ~initial:[] in
+  let m = Bigmodel.create ~replicas in
+  let max_time =
+    Array.fold_left (fun acc (w : Write.t) -> Float.max acc w.accept_time) 0.0 pool
+  in
+  let ops = ref 0 in
+  let ok = ref true in
+  (* Each checkpoint also captures an observation the way a replica now does:
+     the O(1) commit cursor next to the eager committed-id list it replaced.
+     All captures are re-expanded at the very end, after further commits and
+     a truncation, and must still match. *)
+  let cursors = ref [] in
+  let checkpoint () =
+    if not (agree_big log m) then ok := false;
+    let lo, hi = Wlog.commit_cursor log in
+    let eager = List.map (fun (w : Write.t) -> w.Write.id) (Wlog.committed log) in
+    cursors := (lo, hi, eager) :: !cursors
+  in
+  let commit_some () =
+    match scheme with
+    | `Stability ->
+      let cover =
+        Array.init replicas (fun _ -> Tact_util.Prng.float rng (max_time +. 1.0))
+      in
+      incr ops;
+      ignore (Wlog.commit_stable log ~cover);
+      Bigmodel.commit_stable m ~cover
+    | `Csn ->
+      (* Commit a short slice of the tentative suffix, sometimes in reversed
+         (non-timestamp) order to force commit-order divergence. *)
+      let tent = Bigmodel.tentative m in
+      let take = Tact_util.Prng.int rng 4 in
+      let ids =
+        List.filteri (fun j _ -> j < take) tent
+        |> List.map (fun (w : Write.t) -> w.Write.id)
+      in
+      let ids = if Tact_util.Prng.int rng 3 = 0 then List.rev ids else ids in
+      incr ops;
+      ignore (Wlog.commit_ids log ids);
+      Bigmodel.commit_ids m ids
+  in
+  Array.iteri
+    (fun i w ->
+      (match Tact_util.Prng.int rng 12 with
+      | 0 | 1 ->
+        commit_some ();
+        incr ops;
+        ignore (Wlog.insert log w);
+        Bigmodel.insert m w
+      | 2 | 3 ->
+        (* Re-offer a batch laced with duplicates. *)
+        let batch =
+          [ w; w ] @ if i > 2 then [ pool.(i - 1); pool.(i / 2) ] else []
+        in
+        ops := !ops + List.length batch;
+        ignore (Wlog.insert_batch log batch);
+        List.iter (Bigmodel.insert m) batch
+      | _ ->
+        incr ops;
+        ignore (Wlog.insert log w);
+        Bigmodel.insert m w);
+      if i mod 29 = 0 then checkpoint ())
+    pool;
+  (* Fill every remaining gap, then commit everything. *)
+  ops := !ops + Array.length pool;
+  ignore (Wlog.insert_batch log (Array.to_list pool));
+  Array.iter (Bigmodel.insert m) pool;
+  (match scheme with
+  | `Stability ->
+    let full = Array.make replicas (max_time +. 1.0) in
+    ignore (Wlog.commit_stable log ~cover:full);
+    Bigmodel.commit_stable m ~cover:full
+  | `Csn ->
+    let ids = List.map (fun (w : Write.t) -> w.Write.id) (Bigmodel.tentative m) in
+    ignore (Wlog.commit_ids log ids);
+    Bigmodel.commit_ids m ids);
+  checkpoint ();
+  ignore (Wlog.truncate log ~keep:5);
+  let cursors_ok =
+    List.for_all
+      (fun (lo, hi, eager) -> Wlog.commit_slice log ~lo ~hi = eager)
+      !cursors
+  in
+  !ok && cursors_ok
+  && !ops >= 1000
+  && Wlog.tentative log = []
+  && Wlog.committed_count log = List.length m.Bigmodel.committed
+
+let test_big ~scheme name seed =
+  Alcotest.test_case (Printf.sprintf "%s (seed %d)" name seed) `Quick (fun () ->
+      Alcotest.(check bool) "big differential scenario" true
+        (run_big_scenario ~scheme seed))
+
+let big_suite =
+  List.concat_map
+    (fun seed ->
+      [
+        test_big ~scheme:`Stability "1k+ ops, stability commits" seed;
+        test_big ~scheme:`Csn "1k+ ops, CSN commits" seed;
+      ])
+    [ 11; 23; 37; 58; 71 ]
+
+let suite =
+  [ test_model_equivalence; test_truncation_preserves_state ] @ big_suite
