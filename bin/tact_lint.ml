@@ -1,0 +1,339 @@
+(* Source lint for the tact tree.
+
+   A small textual pass over [.ml] files that flags patterns this codebase
+   forbids on its deterministic paths: polymorphic comparison, unspecified
+   Hashtbl iteration order, naked [failwith], wall-clock reads, global Random
+   state, and [Obj.magic].  Comments and string literals are stripped before
+   matching, so prose never trips a rule.
+
+   A finding is suppressed by a [(* lint: allow <rule> -- why *)] comment on
+   the same line or the line directly above it.  Exit status 1 when any
+   finding survives.  Usage: [tact_lint [DIR ...]] (default: [lib]). *)
+
+type rule = { rule_name : string; explain : string }
+
+let rules =
+  [
+    { rule_name = "polymorphic-compare";
+      explain =
+        "polymorphic compare; use a typed one (Int.compare, Float.compare, \
+         Write.compare_id, ...)" };
+    { rule_name = "hashtbl-iter";
+      explain =
+        "Hashtbl.iter order is unspecified; sort first, or annotate if \
+         order-independent" };
+    { rule_name = "hashtbl-fold";
+      explain =
+        "Hashtbl.fold order is unspecified; sort first, or annotate if \
+         commutative" };
+    { rule_name = "naked-failwith";
+      explain = "failwith raises anonymous Failure; use invalid_arg or a typed \
+                 exception" };
+    { rule_name = "wall-clock";
+      explain = "wall-clock read breaks simulation determinism; use the \
+                 engine's virtual time" };
+    { rule_name = "global-random";
+      explain = "global Random state breaks run-to-run determinism; use a \
+                 seeded Random.State" };
+    { rule_name = "obj-magic"; explain = "Obj.magic defeats the type system" };
+  ]
+
+type finding = { file : string; line : int; frule : rule; snippet : string }
+
+(* --- source preparation ------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Blank out comments and string/char literals, preserving line structure.
+   Records each comment's text and starting line so allow-annotations survive
+   the stripping.  Handles nested comments, escaped quotes and [{id|...|id}]
+   quoted strings. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, possibly nested *)
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2;
+          if !depth = 0 then continue := false
+        end
+        else begin
+          Buffer.add_char buf c;
+          blank !i;
+          incr i
+        end
+      done;
+      comments := (start_line, Buffer.contents buf) :: !comments
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          blank !i;
+          incr i;
+          if c = '"' then continue := false
+        end
+      done
+    end
+    else if c = '{' && !i + 1 < n then begin
+      (* quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let delim = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
+        let dlen = String.length delim in
+        let fin = ref (!j + 1) in
+        while
+          !fin + dlen <= n && not (String.equal (String.sub src !fin dlen) delim)
+        do
+          incr fin
+        done;
+        let stop = min n (!fin + dlen) in
+        while !i < stop do
+          bump src.[!i];
+          blank !i;
+          incr i
+        done
+      end
+      else begin
+        incr i
+      end
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && (src.[!i + 1] <> '\\' && src.[!i + 2] = '\'')
+      && not (!i > 0 && is_ident_char src.[!i - 1])
+    then begin
+      (* plain char literal — but not the prime in [x'] or a type variable *)
+      bump src.[!i + 1];
+      blank !i;
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 3
+    end
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      (* escaped char literal '\n', '\\', '\123', '\x41' *)
+      blank !i;
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        blank !i;
+        incr i;
+        if c = '\'' then continue := false
+      done
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  (Bytes.to_string out, !comments)
+
+(* --- allow annotations ------------------------------------------------- *)
+
+(* [(* lint: allow rule-a, rule-b -- rationale *)] suppresses those rules on
+   the comment's line and the next. *)
+let allowances comments =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (cline, text) ->
+      match String.index_opt text ':' with
+      | Some colon
+        when String.trim (String.sub text 0 colon) = "lint" -> (
+        let rest = String.sub text (colon + 1) (String.length text - colon - 1) in
+        let rest = String.trim rest in
+        match String.index_opt rest ' ' with
+        | Some sp when String.sub rest 0 sp = "allow" ->
+          let spec = String.sub rest sp (String.length rest - sp) in
+          List.iter
+            (fun { rule_name; _ } ->
+              (* substring match is enough: rule names never overlap *)
+              let rlen = String.length rule_name in
+              let found = ref false in
+              for k = 0 to String.length spec - rlen do
+                if String.sub spec k rlen = rule_name then found := true
+              done;
+              if !found then begin
+                Hashtbl.replace tbl (cline, rule_name) ();
+                Hashtbl.replace tbl (cline + 1, rule_name) ()
+              end)
+            rules
+        | _ -> ())
+      | _ -> ())
+    comments;
+  tbl
+
+(* --- matching ---------------------------------------------------------- *)
+
+let rule name = List.find (fun r -> r.rule_name = name) rules
+
+(* Occurrences of [word] in [line] as a standalone identifier (not a prefix,
+   suffix or field access). *)
+let has_token ?(qualified = false) line word =
+  let n = String.length line and wlen = String.length word in
+  let found = ref false in
+  for k = 0 to n - wlen do
+    if String.sub line k wlen = word then begin
+      let pre_ok =
+        k = 0
+        || (not (is_ident_char line.[k - 1]))
+           && (qualified || line.[k - 1] <> '.')
+      in
+      let post_ok = k + wlen >= n || not (is_ident_char line.[k + wlen]) in
+      if pre_ok && post_ok then found := true
+    end
+  done;
+  !found
+
+let prev_word line k =
+  let j = ref (k - 1) in
+  while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
+    decr j
+  done;
+  let stop = !j in
+  while !j >= 0 && is_ident_char line.[!j] do
+    decr j
+  done;
+  if stop < 0 then "" else String.sub line (!j + 1) (stop - !j)
+
+(* A bare [compare] that is not a definition ([let compare], [rec], [and]),
+   not a field access and not part of a longer name. *)
+let bare_compare line =
+  let n = String.length line and w = "compare" in
+  let bad = ref false in
+  for k = 0 to n - String.length w do
+    if String.sub line k (String.length w) = w then begin
+      let pre_ok =
+        k = 0 || ((not (is_ident_char line.[k - 1])) && line.[k - 1] <> '.')
+      in
+      let post_ok =
+        k + String.length w >= n || not (is_ident_char line.[k + String.length w])
+      in
+      if pre_ok && post_ok then
+        match prev_word line k with
+        | "let" | "rec" | "and" | "val" -> ()
+        | _ -> bad := true
+    end
+  done;
+  !bad
+
+let check_line line =
+  let hits = ref [] in
+  let add r = hits := rule r :: !hits in
+  if bare_compare line || has_token ~qualified:true line "Stdlib.compare" then
+    add "polymorphic-compare";
+  if has_token ~qualified:true line "Hashtbl.iter" then add "hashtbl-iter";
+  if has_token ~qualified:true line "Hashtbl.fold" then add "hashtbl-fold";
+  if has_token line "failwith" then add "naked-failwith";
+  if
+    has_token ~qualified:true line "Sys.time"
+    || has_token ~qualified:true line "Unix.time"
+    || has_token ~qualified:true line "Unix.gettimeofday"
+  then add "wall-clock";
+  if has_token ~qualified:true line "Obj.magic" then add "obj-magic";
+  (* Global Random calls; the seeded Random.State API is fine. *)
+  (let n = String.length line and w = "Random." in
+   for k = 0 to n - String.length w - 1 do
+     if
+       String.sub line k (String.length w) = w
+       && (k = 0 || (line.[k - 1] <> '.' && not (is_ident_char line.[k - 1])))
+       && not
+            (k + 13 <= n && String.sub line (k + String.length w) 6 = "State.")
+     then add "global-random"
+   done);
+  !hits
+
+let lint_file findings path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let stripped, comments = strip src in
+  let allowed = allowances comments in
+  let lines = String.split_on_char '\n' stripped in
+  List.iteri
+    (fun idx line ->
+      let lno = idx + 1 in
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem allowed (lno, r.rule_name)) then
+            findings :=
+              { file = path; line = lno; frule = r; snippet = String.trim line }
+              :: !findings)
+        (check_line line))
+    lines
+
+let rec walk findings path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry -> walk findings (Filename.concat path entry))
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then lint_file findings path
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | l -> l
+  in
+  let findings = ref [] in
+  List.iter (walk findings) roots;
+  let findings =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      !findings
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d: [%s] %s\n  %s\n" f.file f.line f.frule.rule_name
+        f.frule.explain f.snippet)
+    findings;
+  match findings with
+  | [] ->
+    print_endline "tact-lint: clean";
+    exit 0
+  | fs ->
+    Printf.printf "tact-lint: %d finding(s)\n" (List.length fs);
+    exit 1

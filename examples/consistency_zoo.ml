@@ -165,6 +165,8 @@ let memdag () =
   System.run ~until:30.0 sys
 
 let () =
+  (* Reject malformed conit specs up front (doc/ANALYSIS.md). *)
+  Tact_analysis.Guard.install ();
   n_ignorant ();
   conflict_matrix ();
   lazy_replication ();

@@ -1,0 +1,51 @@
+(** Static analysis of a conit specification against its deployment.
+
+    [analyze] is a pure pass over a {!Tact_replica.Config.t}, the system size,
+    and optionally the topology and the application's op-class/query
+    declarations.  It emits {!Diagnostic.t} values for configurations that are
+    malformed (errors) or that will technically work but degenerate — e.g. an
+    absolute NE bound whose per-peer share [x/(n-1)] is smaller than a single
+    write's weight, which turns every access into a synchronous round
+    (Section 5.2 of the paper).  [doc/ANALYSIS.md] documents every code. *)
+
+type usage = {
+  u_name : string;
+  u_kind : [ `Op | `Query ];
+  u_affects : (string * float * float) list;
+      (** [(conit, nweight, oweight)] triples this op may contribute *)
+  u_depends : (string * Tact_core.Bounds.t) list;
+      (** per-access consistency requirements this op/query declares *)
+}
+(** What one op class or query does to the conits, evaluated over
+    representative arguments.  The analyzer sees weights only through these
+    samples, so feed it arguments that exercise the extremes (e.g. the
+    largest purchase an op accepts). *)
+
+val of_op_class : 'a Tact_replica.Spec.op_class -> args:'a list -> usage
+(** Evaluate the class's [affects]/[depends] functions over sample [args]. *)
+
+val of_query : 'a Tact_replica.Spec.query -> args:'a list -> usage
+
+val usage :
+  name:string ->
+  ?kind:[ `Op | `Query ] ->
+  ?affects:(string * float * float) list ->
+  ?depends:(string * Tact_core.Bounds.t) list ->
+  unit ->
+  usage
+(** Build a usage directly, for specs not written with {!Tact_replica.Spec}. *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** Every diagnostic code the analyzer can emit, with its severity and a
+    one-line description.  Stable; tests and [doc/ANALYSIS.md] enumerate it. *)
+
+val analyze :
+  n:int ->
+  ?topology:Tact_sim.Topology.t ->
+  ?usages:usage list ->
+  Tact_replica.Config.t ->
+  Diagnostic.t list
+(** Analyze a configuration for a system of [n] replicas.  [topology] enables
+    the round-trip staleness floor check (TA008); [usages] enables the
+    weight-vs-budget and liveness checks (TA011–TA016).  Returns sorted
+    diagnostics; empty means clean. *)

@@ -1,0 +1,26 @@
+let verbose () =
+  match Sys.getenv_opt "TACT_ANALYZE" with
+  | Some ("0" | "") | None -> false
+  | Some _ -> true
+
+let check ~n ?topology ?usages config =
+  Analyzer.analyze ~n ?topology ?usages config
+
+let hook ~n config =
+  let ds = Analyzer.analyze ~n config in
+  if verbose () && ds <> [] then
+    prerr_endline
+      (Printf.sprintf "tact-analyze: %s\n%s" (Diagnostic.summary ds)
+         (Diagnostic.render ds));
+  if Diagnostic.has_errors ds then
+    invalid_arg
+      (Printf.sprintf "Config.analyze: %s\n%s"
+         (Diagnostic.summary ds)
+         (Diagnostic.render (Diagnostic.errors ds)))
+
+let install () = Tact_replica.Config.set_analyze_hook (Some hook)
+let uninstall () = Tact_replica.Config.set_analyze_hook None
+
+let with_installed f =
+  install ();
+  Fun.protect ~finally:uninstall f

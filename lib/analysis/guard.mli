@@ -1,0 +1,28 @@
+(** Hooking the analyzer into {!Tact_replica.System.create}.
+
+    [tact_analysis] depends on [tact_replica], so the dependency is inverted:
+    {!install} registers {!Tact_replica.Config.set_analyze_hook}, and every
+    subsequent [System.create] runs the config-only analysis (no usages or
+    topology — those require application cooperation via {!check}).  Errors
+    reject the configuration with [Invalid_argument]; warnings and infos are
+    printed to stderr only when the [TACT_ANALYZE] environment variable is
+    set to a non-empty value other than ["0"].  Every in-tree example
+    installs the guard at startup. *)
+
+val check :
+  n:int ->
+  ?topology:Tact_sim.Topology.t ->
+  ?usages:Analyzer.usage list ->
+  Tact_replica.Config.t ->
+  Diagnostic.t list
+(** Full analysis, including the usage- and topology-dependent checks.
+    Alias for {!Analyzer.analyze}. *)
+
+val install : unit -> unit
+(** Register the hook.  Idempotent; latest installation wins. *)
+
+val uninstall : unit -> unit
+
+val with_installed : (unit -> 'a) -> 'a
+(** Run [f] with the hook installed, uninstalling afterwards even on raise —
+    what tests use so the hook does not leak across suites. *)

@@ -2,11 +2,17 @@ type t = {
   name : string;
   ne_bound : float;
   ne_rel_bound : float;
+  oe_bound : float;
+  st_bound : float;
   initial_value : float;
 }
 
-let declare ?(ne_bound = infinity) ?(ne_rel_bound = infinity) ?(initial_value = 0.0)
-    name =
-  { name; ne_bound; ne_rel_bound; initial_value }
+let declare ?(ne_bound = infinity) ?(ne_rel_bound = infinity) ?(oe_bound = infinity)
+    ?(st_bound = infinity) ?(initial_value = 0.0) name =
+  { name; ne_bound; ne_rel_bound; oe_bound; st_bound; initial_value }
 
 let unconstrained name = declare name
+
+let is_unconstrained c =
+  c.ne_bound = infinity && c.ne_rel_bound = infinity && c.oe_bound = infinity
+  && c.st_bound = infinity

@@ -10,12 +10,21 @@
     A declaration optionally fixes the {e system-wide} numerical-error bound
     that the proactive push protocol maintains for the conit.  Per-access NE
     requirements no looser than the declared bound are then satisfied without
-    blocking; tighter one-off requirements trigger an on-demand pull. *)
+    blocking; tighter one-off requirements trigger an on-demand pull.
+
+    Declared order-error and staleness bounds record the application's
+    standing OE/ST requirements on the conit.  Enforcement of those two
+    metrics is reactive (commit-driving pulls at access time), so the
+    declared values do not change protocol behaviour; they are validated by
+    {!Tact_replica.Config.validate} and audited by the static analyzer,
+    which checks them against the anti-entropy schedule and topology. *)
 
 type t = {
   name : string;
   ne_bound : float;  (** system-wide absolute NE maintained by pushes *)
   ne_rel_bound : float;  (** system-wide relative NE maintained by pushes *)
+  oe_bound : float;  (** standing order-error requirement (analyzed, not pushed) *)
+  st_bound : float;  (** standing staleness requirement (analyzed, not pushed) *)
   initial_value : float;
       (** the conit's value over the initial database (e.g. seats initially
           available on a flight); accumulated write weights are offsets from
@@ -23,7 +32,17 @@ type t = {
 }
 
 val declare :
-  ?ne_bound:float -> ?ne_rel_bound:float -> ?initial_value:float -> string -> t
+  ?ne_bound:float ->
+  ?ne_rel_bound:float ->
+  ?oe_bound:float ->
+  ?st_bound:float ->
+  ?initial_value:float ->
+  string ->
+  t
 (** Unspecified bounds are unconstrained; [initial_value] defaults to 0. *)
 
 val unconstrained : string -> t
+
+val is_unconstrained : t -> bool
+(** True when every declared bound is infinite — the declaration names the
+    conit but promises nothing. *)

@@ -30,6 +30,24 @@ let conit t name =
   | Some c -> c
   | None -> Tact_core.Conit.unconstrained name
 
+(* A bound is malformed when it is negative or NaN (NaN compares false
+   against everything, so it would silently disable the bound's checks). *)
+let bad_bound x = x < 0.0 || Float.is_nan x
+
+let bad_gossip_plan ~n t =
+  match t.gossip_plan with
+  | None -> None
+  | Some plan ->
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      if !bad = None then
+        Array.iter
+          (fun j ->
+            if j < 0 || j >= n || j = i then bad := Some (i, j))
+          (plan i)
+    done;
+    !bad
+
 let validate ~n t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   if n <= 0 then err "system size must be positive (got %d)" n
@@ -51,8 +69,28 @@ let validate ~n t =
           else if
             List.exists
               (fun (c : Tact_core.Conit.t) ->
-                c.ne_bound < 0.0 || c.ne_rel_bound < 0.0)
+                bad_bound c.ne_bound || bad_bound c.ne_rel_bound
+                || bad_bound c.oe_bound || bad_bound c.st_bound)
               t.conits
           then err "conit bounds must be non-negative"
-          else Ok ()
+          else
+            match bad_gossip_plan ~n t with
+            | Some (i, j) ->
+              err "gossip plan for replica %d targets %d (not a peer id, n = %d)"
+                i j n
+            | None -> Ok ()
         end)
+
+(* ------------------------------------------------------------------ *)
+(* Static-analysis hook                                                *)
+
+(* The analyzer lives above this library (it reads [Config.t]), so the
+   dependency is inverted through a registration point: [Tact_analysis.Guard]
+   installs itself here and {!System.create} calls through.  Unset, the hook
+   is free. *)
+let analyze_hook : (n:int -> t -> unit) option ref = ref None
+
+let set_analyze_hook h = analyze_hook := h
+
+let run_analyze_hook ~n t =
+  match !analyze_hook with None -> () | Some h -> h ~n t

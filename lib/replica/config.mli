@@ -49,8 +49,25 @@ val default : t
 val conit : t -> string -> Tact_core.Conit.t
 (** The declaration for a conit name (unconstrained if undeclared). *)
 
+val bad_gossip_plan : n:int -> t -> (int * int) option
+(** The first out-of-range or self-referential gossip target, as
+    [(replica, target)], probing the plan for every replica id.  [None] when
+    no plan is set or the plan is well-formed.  Shared by {!validate} and the
+    static analyzer. *)
+
 val validate : n:int -> t -> (unit, string) result
 (** Sanity-check a configuration against the system size: the primary id
     must name a replica, periods must be positive, retention non-negative,
-    conit names unique and bounds non-negative.  {!System.create} runs this
-    and raises [Invalid_argument] on [Error]. *)
+    conit names unique, every declared bound (NE, relative NE, OE, ST)
+    non-negative and non-NaN, and [gossip_plan], when set, must return
+    peer ids in range for every replica.  {!System.create} runs this and
+    raises [Invalid_argument] on [Error]. *)
+
+val set_analyze_hook : (n:int -> t -> unit) option -> unit
+(** Register (or clear) the static-analysis hook that {!System.create} runs
+    after {!validate}.  Installed by [Tact_analysis.Guard] — the analyzer
+    depends on this library, so the call is inverted through this hook.  The
+    hook may raise (e.g. [Invalid_argument]) to reject the configuration. *)
+
+val run_analyze_hook : n:int -> t -> unit
+(** Invoke the registered hook, if any. *)

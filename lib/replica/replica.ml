@@ -152,7 +152,7 @@ let create ~id ~n ~net ~config ?on_accept () =
        tbl);
     rounds = Hashtbl.create 8;
     round_ctr = 0;
-    peers = (fun _ -> failwith "Replica: not connected");
+    peers = (fun _ -> invalid_arg "Replica: not connected (call Replica.connect)");
     up = true;
     crashes = 0;
     on_accept;
@@ -186,6 +186,38 @@ let pending_count t = t.npending
 
 let bookkeeping_entries t =
   Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.outstanding
+
+(* Replica-level invariant audit (TACT_SANITIZE checking mode): execution
+   state that sits above the write log — cover times, parked-access
+   accounting, commit-sequence and budget pointers — plus the full log audit,
+   reported with this replica's id. *)
+let sanity_check t =
+  if Sanitize.enabled () then begin
+    let ctx = Printf.sprintf "replica %d at t=%g" t.rid (Engine.now t.engine) in
+    let bad = ref [] in
+    let addf fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+    let nw = Engine.now t.engine in
+    Array.iteri
+      (fun o c ->
+        if c > nw +. 1e-9 then
+          addf "cover.(%d) = %g is in the future (now %g)" o c nw)
+      t.cover;
+    let live = ref 0 in
+    Queue.iter (fun p -> if not p.p_done then incr live) t.pending;
+    if !live <> t.npending then
+      addf "npending = %d but the queue holds %d live entries" t.npending !live;
+    (* Note: csn_committed may legitimately lead the known csn prefix — a
+       snapshot install folds in remote commits without their csn slices. *)
+    if t.csn_committed < 0 then addf "csn_committed = %d negative" t.csn_committed;
+    Array.iteri
+      (fun j sp ->
+        if sp > Vec.length t.own_writes then
+          addf "sub_ptr.(%d) = %d is beyond the own-write count (%d)" j sp
+            (Vec.length t.own_writes))
+      t.sub_ptr;
+    Sanitize.report ~ctx (List.rev !bad);
+    Wlog.sanitize ~ctx t.wlog
+  end
 
 let stats t =
   {
@@ -809,7 +841,8 @@ and process t msg =
           end
         | None -> ())
     | `Gossip -> ()));
-  pump t
+  pump t;
+  sanity_check t
 
 (* ------------------------------------------------------------------ *)
 (* Client entry points                                                 *)
@@ -865,7 +898,8 @@ let submit_read ?require ?deadline ?on_timeout t ~deps ~f ~k =
       p_done = false;
     }
   in
-  admit t ?deadline p
+  admit t ?deadline p;
+  sanity_check t
 
 let submit_write ?require ?deadline ?on_timeout t ~deps ~affects ~op ~k =
   let p =
@@ -882,7 +916,8 @@ let submit_write ?require ?deadline ?on_timeout t ~deps ~affects ~op ~k =
       p_done = false;
     }
   in
-  admit t ?deadline p
+  admit t ?deadline p;
+  sanity_check t
 
 (* Clients of a crashed replica fail fast: parked accesses are abandoned
    (their timeout callbacks fire) and new submissions go straight to

@@ -121,3 +121,11 @@ val bookkeeping_entries : t -> int
     outstanding-weight entries).  Section 5 claims the protocols scale with
     the number of {e active} conits because this state is created on demand
     rather than statically per conit; experiment E8 measures it. *)
+
+val sanity_check : t -> unit
+(** When {!Tact_util.Sanitize.enabled}, audit this replica's execution state
+    (cover times, parked-access accounting, commit and budget pointers) and
+    its write log ({!Tact_store.Wlog.invariant_violations}), raising
+    [Tact_util.Sanitize.Violation] tagged with the replica id and simulated
+    time.  No-op otherwise.  Runs automatically after message processing and
+    access submission. *)

@@ -12,6 +12,8 @@ let op_class ~name ?(affects = fun _ -> []) ?(depends = fun _ -> []) ~op () =
   { name; affects; depends; op }
 
 let class_name c = c.name
+let class_affects c = c.affects
+let class_depends c = c.depends
 
 let annotate session ~affects ~depends =
   List.iter
@@ -33,6 +35,9 @@ type 'a query = {
   q_depends : 'a -> (string * Bounds.t) list;
   q_read : 'a -> Db.t -> Value.t;
 }
+
+let query_name q = q.q_name
+let query_depends q = q.q_depends
 
 let query ~name ?(depends = fun _ -> []) ~read () =
   { q_name = name; q_depends = depends; q_read = read }

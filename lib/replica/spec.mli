@@ -36,6 +36,11 @@ val op_class :
 
 val class_name : 'a op_class -> string
 
+val class_affects : 'a op_class -> 'a -> (string * float * float) list
+val class_depends : 'a op_class -> 'a -> (string * Tact_core.Bounds.t) list
+(** The class's annotation functions, exposed so the static analyzer can
+    evaluate them over representative arguments. *)
+
 val submit :
   'a op_class -> Session.t -> 'a -> k:(Tact_store.Op.outcome -> unit) -> unit
 (** Annotate the session per the class and submit the write. *)
@@ -48,5 +53,8 @@ val query :
   read:('a -> Tact_store.Db.t -> Tact_store.Value.t) ->
   unit ->
   'a query
+
+val query_name : 'a query -> string
+val query_depends : 'a query -> 'a -> (string * Tact_core.Bounds.t) list
 
 val ask : 'a query -> Session.t -> 'a -> k:(Tact_store.Value.t -> unit) -> unit

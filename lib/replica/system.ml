@@ -21,6 +21,7 @@ let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ~topology ~config () =
   (match Config.validate ~n:topology.Topology.n config with
   | Ok () -> ()
   | Error m -> invalid_arg ("System.create: " ^ m));
+  Config.run_analyze_hook ~n:topology.Topology.n config;
   let engine = Engine.create () in
   let rng = Prng.create ~seed in
   let jit = if jitter > 0.0 then Some (rng, jitter) else None in
@@ -68,6 +69,7 @@ let run ?until t =
     t.replicas
 
 let all_writes t =
+  (* lint: allow hashtbl-fold — collected list is sorted just below *)
   Hashtbl.fold (fun _ m acc -> m.write :: acc) t.writes []
   |> List.sort Write.ts_compare
 
@@ -89,7 +91,7 @@ let accept_vector t id =
 let records t =
   Array.to_list t.replicas
   |> List.concat_map Replica.records
-  |> List.sort (fun (a : Tact_core.Access.t) b -> compare a.serve_time b.serve_time)
+  |> List.sort (fun (a : Tact_core.Access.t) b -> Float.compare a.serve_time b.serve_time)
 
 let traffic t = Net.stats t.net
 

@@ -3,9 +3,12 @@ type t = {
   mutable clock : float;
   mutable seq : int;
   mutable executed : int;
+  mutable last_dispatch : float * int;  (* (time, seq) of the last event fired *)
 }
 
-let create () = { queue = Heap.create (); clock = 0.0; seq = 0; executed = 0 }
+let create () =
+  { queue = Heap.create (); clock = 0.0; seq = 0; executed = 0;
+    last_dispatch = (neg_infinity, 0) }
 
 let now t = t.clock
 
@@ -39,10 +42,21 @@ let run ?(until = infinity) ?(max_events = 200_000_000) t =
     | Some _ ->
       (match Heap.pop t.queue with
       | None -> continue := false
-      | Some (time, _, thunk) ->
+      | Some (time, seq, thunk) ->
+        if Tact_util.Sanitize.enabled () then begin
+          (* Dispatch must be totally ordered by (time, insertion seq) — a
+             heap defect here would silently reorder protocol steps. *)
+          let lt, ls = t.last_dispatch in
+          if time < lt || (time = lt && seq <= ls) then
+            Tact_util.Sanitize.violation ~ctx:"engine"
+              "event (t=%g, seq=%d) dispatched after (t=%g, seq=%d)" time seq
+              lt ls;
+          t.last_dispatch <- (time, seq)
+        end;
         t.clock <- time;
         t.executed <- t.executed + 1;
         if t.executed > max_events then
+          (* lint: allow naked-failwith — runaway-simulation guard *)
           failwith "Engine.run: max_events exceeded (runaway simulation?)";
         thunk ())
   done

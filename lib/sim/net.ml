@@ -95,6 +95,7 @@ let heal t = Hashtbl.reset t.cut
 let stats t = { messages = t.messages; bytes = t.bytes; dropped = t.dropped }
 
 let traffic_where t pred =
+  (* lint: allow hashtbl-fold — commutative sum over links *)
   Hashtbl.fold
     (fun (src, dst) (msgs, bts) (acc : stats) ->
       if pred ~src ~dst then

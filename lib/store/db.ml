@@ -30,6 +30,7 @@ let add t k delta =
 
 let append t k v = set t k (Value.List (v :: Value.to_list (get t k)))
 
+(* lint: allow hashtbl-fold — key collection; callers sort before iterating *)
 let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []
 
 (* Every mutation inside [f] is journalled; the returned undo record reverts
@@ -62,6 +63,7 @@ let equal a b =
      on the other still compares equal.  Short-circuits on first mismatch. *)
   let subset x y =
     try
+      (* lint: allow hashtbl-iter — membership test, order-independent *)
       Hashtbl.iter
         (fun k v ->
           let w = match Hashtbl.find_opt y.tbl k with Some w -> w | None -> Value.Nil in

@@ -19,15 +19,16 @@ let rec compare a b =
   | Nil, Nil -> 0
   | Nil, _ -> -1
   | _, Nil -> 1
-  | Int a, Int b -> Stdlib.compare a b
+  | Int a, Int b -> Int.compare a b
   | Int _, _ -> -1
   | _, Int _ -> 1
-  | Float a, Float b -> Stdlib.compare a b
+  | Float a, Float b -> Float.compare a b
   | Float _, _ -> -1
   | _, Float _ -> 1
   | Str a, Str b -> String.compare a b
   | Str _, _ -> -1
   | _, Str _ -> 1
+  (* lint: allow polymorphic-compare — recursing with this module's compare *)
   | List a, List b -> List.compare compare a b
 
 let to_int = function

@@ -46,6 +46,8 @@ type t = {
   committed_values : (string, float) Hashtbl.t;
   tent_oweights : (string, float) Hashtbl.t; (* conit -> tentative oweight *)
   mutable nrollbacks : int;
+  mutable shadow_vector : Version_vector.t option;
+      (* last vector seen by the sanitizer, for monotonicity (sanitize only) *)
 }
 
 let create ~replicas ~initial =
@@ -71,6 +73,7 @@ let create ~replicas ~initial =
     committed_values = Hashtbl.create 16;
     tent_oweights = Hashtbl.create 16;
     nrollbacks = 0;
+    shadow_vector = None;
   }
 
 let htbl_add tbl key delta =
@@ -79,6 +82,137 @@ let htbl_add tbl key delta =
 
 let htbl_get tbl key =
   match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Invariant audit (sanitize mode)                                     *)
+
+(* Full structural audit of the log: the invariants every fast path in this
+   module (and the incremental observation capture above it) relies on.
+   O(log size) — only the TACT_SANITIZE checking mode runs it per-operation. *)
+let invariant_violations t =
+  let bad = ref [] in
+  let addf fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  (* Tentative suffix strictly timestamp-sorted. *)
+  for i = 1 to Deque.length t.tent - 1 do
+    let a = Deque.get t.tent (i - 1) and b = Deque.get t.tent i in
+    if Write.ts_compare a b >= 0 then
+      addf "tentative suffix out of order at positions %d..%d: %s does not precede %s"
+        (i - 1) i (Write.to_string a) (Write.to_string b)
+  done;
+  (* Undo journal runs parallel to the tentative suffix. *)
+  if Deque.length t.undo <> Deque.length t.tent then
+    addf "undo journal length %d mismatches tentative suffix length %d"
+      (Deque.length t.undo) (Deque.length t.tent);
+  (* Commit-journal prefix property: the journal records every commit this
+     log performed itself (snapshot installation folds in remote commits
+     without journalling them, so the journal may lag the commit count), and
+     the retained committed deque is exactly its most recent slice, in order
+     (the property observation cursors depend on). *)
+  if Vec.length t.journal > t.ncommitted then
+    addf "commit journal length %d exceeds commit count %d"
+      (Vec.length t.journal) t.ncommitted;
+  let retained = Deque.length t.committed in
+  if retained > Vec.length t.journal then
+    addf "retained committed prefix (%d) longer than commit journal (%d)"
+      retained (Vec.length t.journal)
+  else
+    for i = 0 to retained - 1 do
+      let w = Deque.get t.committed i in
+      let jid = Vec.get t.journal (Vec.length t.journal - retained + i) in
+      if Write.compare_id w.Write.id jid <> 0 then
+        addf "committed prefix diverges from commit journal at retained position %d: %s vs %s"
+          i (Write.id_to_string w.Write.id) (Write.id_to_string jid)
+    done;
+  (* Id discipline: committed writes are flagged committed, tentative writes
+     are not, and the known vector covers everything in the log. *)
+  Deque.iter
+    (fun (w : Write.t) ->
+      if not (Hashtbl.mem t.committed_ids w.id) then
+        addf "committed write %s missing from the committed-id set"
+          (Write.id_to_string w.id))
+    t.committed;
+  let pos = ref 0 in
+  Deque.iter
+    (fun (w : Write.t) ->
+      if Hashtbl.mem t.committed_ids w.id then
+        addf "tentative write %s (position %d) is also marked committed"
+          (Write.id_to_string w.id) !pos;
+      if Hashtbl.find_opt t.by_id w.id = None then
+        addf "tentative write %s (position %d) missing from the id index"
+          (Write.id_to_string w.id) !pos;
+      if not (Version_vector.covers t.vector ~origin:w.id.origin ~seq:w.id.seq)
+      then
+        addf "known vector %s does not cover tentative write %s (position %d)"
+          (Version_vector.to_string t.vector) (Write.id_to_string w.id) !pos;
+      incr pos)
+    t.tent;
+  if not (Version_vector.dominates t.vector t.committed_vec) then
+    addf "known vector %s does not dominate committed vector %s"
+      (Version_vector.to_string t.vector)
+      (Version_vector.to_string t.committed_vec);
+  (* Weight accounting: the incremental conit-value and order-weight tallies
+     must agree with a recount of the tentative suffix. *)
+  let tent_n = Hashtbl.create 16 and tent_o = Hashtbl.create 16 in
+  Deque.iter
+    (fun (w : Write.t) ->
+      List.iter
+        (fun { Write.conit; nweight; oweight } ->
+          htbl_add tent_n conit nweight;
+          htbl_add tent_o conit oweight)
+        w.affects)
+    t.tent;
+  let keys tbl =
+    (* lint: allow hashtbl-fold — key collection, sorted before use *)
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  in
+  let conits =
+    List.sort_uniq String.compare
+      (keys t.values @ keys t.committed_values @ keys tent_n @ keys t.tent_oweights)
+  in
+  let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a +. Float.abs b) in
+  List.iter
+    (fun c ->
+      let expect = htbl_get t.committed_values c +. htbl_get tent_n c in
+      if not (close (htbl_get t.values c) expect) then
+        addf "conit %S value tally %g diverges from recount %g" c
+          (htbl_get t.values c) expect;
+      if not (close (htbl_get t.tent_oweights c) (htbl_get tent_o c)) then
+        addf "conit %S tentative order weight %g diverges from recount %g" c
+          (htbl_get t.tent_oweights c) (htbl_get tent_o c))
+    conits;
+  (* Undo round-trip: replaying every journal entry newest-first over a copy
+     of the full image must restore the committed image exactly. *)
+  if Deque.length t.undo = Deque.length t.tent then begin
+    let img = Db.copy t.full_db in
+    for i = Deque.length t.undo - 1 downto 0 do
+      Db.revert img (Deque.get t.undo i)
+    done;
+    if not (Db.equal img t.committed_db) then
+      addf "undo journal does not revert the full image to the committed image"
+  end;
+  List.rev !bad
+
+let sanitize ?(ctx = "wlog") t =
+  if Sanitize.enabled () then begin
+    let bad = invariant_violations t in
+    let bad =
+      match t.shadow_vector with
+      | Some old when not (Version_vector.dominates t.vector old) ->
+        Printf.sprintf "known vector regressed: %s no longer dominates %s"
+          (Version_vector.to_string t.vector) (Version_vector.to_string old)
+        :: bad
+      | Some _ | None -> bad
+    in
+    t.shadow_vector <- Some (Version_vector.copy t.vector);
+    Sanitize.report ~ctx bad
+  end
+
+(* Deliberately corrupt the tentative suffix by swapping two entries —
+   exists solely so tests can prove the sanitizer trips on real damage. *)
+let unsafe_swap_tentative t i j =
+  let a = Deque.get t.tent i and b = Deque.get t.tent j in
+  Deque.set t.tent i b;
+  Deque.set t.tent j a
 
 (* Bookkeeping common to every successful insertion. *)
 let register t (w : Write.t) =
@@ -154,6 +288,7 @@ let accept t (w : Write.t) =
   register t w;
   let pos = insert_tent t w in
   finish_inserts t ~applied ~minpos:pos;
+  sanitize ~ctx:"wlog.accept" t;
   match Hashtbl.find_opt t.outcomes w.id with
   | Some o -> o
   | None -> assert false
@@ -194,6 +329,7 @@ let insert t (w : Write.t) =
     let applied = Deque.length t.undo in
     let _, minpos = insert_positions t w in
     finish_inserts t ~applied ~minpos;
+    sanitize ~ctx:"wlog.insert" t;
     match Hashtbl.find_opt t.outcomes w.id with
     | Some o -> Inserted o
     | None -> assert false
@@ -218,6 +354,7 @@ let insert_batch t ws =
       end)
     sorted;
   if !fresh <> [] then finish_inserts t ~applied ~minpos:(min !minpos applied);
+  sanitize ~ctx:"wlog.insert_batch" t;
   List.sort Write.ts_compare !fresh
 
 let vector t = t.vector
@@ -291,6 +428,7 @@ let commit_stable t ~cover =
     commit_one t w;
     incr n
   done;
+  if !n > 0 then sanitize ~ctx:"wlog.commit_stable" t;
   !n
 
 let commit_ids t ids =
@@ -307,7 +445,7 @@ let commit_ids t ids =
         if
           (not !reordered)
           && (not (Deque.is_empty t.tent))
-          && (Deque.peek_front t.tent).Write.id = id
+          && Write.compare_id (Deque.peek_front t.tent).Write.id id = 0
         then begin
           ignore (Deque.pop_front t.tent);
           ignore (Deque.pop_front t.undo)
@@ -315,7 +453,7 @@ let commit_ids t ids =
         else begin
           reordered := true;
           let pos = Deque.upper_bound t.tent ~cmp:Write.ts_compare w - 1 in
-          assert (pos >= 0 && (Deque.get t.tent pos).Write.id = id);
+          assert (pos >= 0 && Write.compare_id (Deque.get t.tent pos).Write.id id = 0);
           ignore (Deque.remove t.tent pos)
         end;
         commit_one t w;
@@ -326,11 +464,13 @@ let commit_ids t ids =
     t.nrollbacks <- t.nrollbacks + 1;
     rebuild t
   end;
+  if !n > 0 then sanitize ~ctx:"wlog.commit_ids" t;
   !n
 
 let tentative_oweight t conit = htbl_get t.tent_oweights conit
 
 let tentative_max_oweight t =
+  (* lint: allow hashtbl-fold — max over values, order-independent *)
   Hashtbl.fold (fun _ v acc -> Float.max v acc) t.tent_oweights 0.0
 
 let conit_value t conit = htbl_get t.values conit
@@ -372,6 +512,7 @@ let truncate t ~keep =
       Version_vector.set t.trunc_vec w.id.origin
         (max w.id.seq (Version_vector.get t.trunc_vec w.id.origin))
     done;
+    sanitize ~ctx:"wlog.truncate" t;
     drop
   end
 
@@ -382,7 +523,10 @@ let snapshot t =
     snap_db = Db.copy t.committed_db;
     snap_vector = Version_vector.copy t.committed_vec;
     snap_ncommitted = t.ncommitted;
-    snap_values = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.committed_values [];
+    snap_values =
+      (* lint: allow hashtbl-fold — sorted below for a deterministic wire image *)
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.committed_values []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
   }
 
 let install_snapshot t snap =
@@ -434,6 +578,7 @@ let install_snapshot t snap =
     Version_vector.merge_into t.vector snap.snap_vector;
     Hashtbl.reset t.tent_oweights;
     Hashtbl.reset t.values;
+    (* lint: allow hashtbl-iter — table copy, order-independent *)
     Hashtbl.iter (fun k v -> Hashtbl.replace t.values k v) t.committed_values;
     Deque.iter
       (fun (w : Write.t) ->
@@ -445,6 +590,7 @@ let install_snapshot t snap =
       t.tent;
     (* Drop pending-buffer entries the snapshot already covers. *)
     let stale =
+      (* lint: allow hashtbl-fold — collecting keys to remove, order-independent *)
       Hashtbl.fold
         (fun id _ acc ->
           if Version_vector.covers snap.snap_vector ~origin:id.Write.origin ~seq:id.Write.seq
@@ -455,5 +601,6 @@ let install_snapshot t snap =
     List.iter (Hashtbl.remove t.pending) stale;
     t.nrollbacks <- t.nrollbacks + 1;
     rebuild t;
+    sanitize ~ctx:"wlog.install_snapshot" t;
     true
   end

@@ -169,3 +169,28 @@ val install_snapshot : t -> snapshot -> bool
 
 val committed_vector : t -> Version_vector.t
 (** The vector describing the committed prefix (do not mutate). *)
+
+(** {2 Invariant sanitizer}
+
+    The structural invariants the indexed log relies on — tentative suffix in
+    strict timestamp order, undo journal in lockstep with it, retained
+    committed prefix equal to the most recent slice of the commit journal,
+    version-vector coverage and monotonicity, weight tallies agreeing with a
+    recount, and the undo journal reverting the full image exactly to the
+    committed image — can be audited on demand, or after every mutation when
+    [TACT_SANITIZE=1] (see {!Tact_util.Sanitize}). *)
+
+val invariant_violations : t -> string list
+(** Full structural audit; empty when the log is healthy.  O(log size). *)
+
+val sanitize : ?ctx:string -> t -> unit
+(** When {!Tact_util.Sanitize.enabled}, run {!invariant_violations} (plus a
+    vector-monotonicity check against the previous audit) and raise
+    [Tact_util.Sanitize.Violation] with the offending positions.  No-op
+    otherwise.  Called internally after every mutating operation. *)
+
+(**/**)
+
+val unsafe_swap_tentative : t -> int -> int -> unit
+(** Test-only: corrupt the log by swapping two tentative entries, so tests
+    can prove the sanitizer detects real damage.  Never call otherwise. *)

@@ -5,14 +5,14 @@ type weight = { conit : string; nweight : float; oweight : float }
 type t = { id : id; accept_time : float; op : Op.t; affects : weight list }
 
 let compare_id a b =
-  match Stdlib.compare a.origin b.origin with
-  | 0 -> Stdlib.compare a.seq b.seq
+  match Int.compare a.origin b.origin with
+  | 0 -> Int.compare a.seq b.seq
   | c -> c
 
 let id_to_string id = Printf.sprintf "w%d.%d" id.origin id.seq
 
 let ts_compare a b =
-  match Stdlib.compare a.accept_time b.accept_time with
+  match Float.compare a.accept_time b.accept_time with
   | 0 -> compare_id a.id b.id
   | c -> c
 

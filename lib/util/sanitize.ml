@@ -1,0 +1,28 @@
+exception Violation of string
+
+(* The environment is consulted once: flipping TACT_SANITIZE mid-run would
+   leave shadow state (previous-vector copies, dispatch clocks) half
+   initialised.  Tests toggle programmatically via {!set_enabled}. *)
+let env_enabled =
+  match Sys.getenv_opt "TACT_SANITIZE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let forced = ref None
+
+let enabled () = match !forced with Some b -> b | None -> env_enabled
+let set_enabled b = forced := Some b
+let clear_forced () = forced := None
+
+let violation ~ctx fmt =
+  Printf.ksprintf (fun m -> raise (Violation (Printf.sprintf "[%s] %s" ctx m))) fmt
+
+let report ~ctx msgs =
+  match msgs with
+  | [] -> ()
+  | _ ->
+    raise
+      (Violation
+         (Printf.sprintf "[%s] %d invariant violation(s):\n  %s" ctx
+            (List.length msgs)
+            (String.concat "\n  " msgs)))

@@ -1,0 +1,26 @@
+(** Runtime invariant checking, off by default.
+
+    Setting [TACT_SANITIZE=1] in the environment (or calling
+    {!set_enabled}[ true]) switches the write log, the replicas and the
+    simulation engine into a checking mode that audits their structural
+    invariants after every mutation and raises {!Violation} — with the
+    replica id and log position — instead of silently corrupting state.
+    The checks cost O(log size) per operation; production runs leave them
+    off and pay only a cached boolean test. *)
+
+exception Violation of string
+
+val enabled : unit -> bool
+(** True when checking is on ([TACT_SANITIZE] or a {!set_enabled} override). *)
+
+val set_enabled : bool -> unit
+(** Programmatic override of the environment flag (tests). *)
+
+val clear_forced : unit -> unit
+(** Drop the {!set_enabled} override, falling back to the environment. *)
+
+val violation : ctx:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Violation} with a [\[ctx\]]-prefixed message. *)
+
+val report : ctx:string -> string list -> unit
+(** Raise {!Violation} summarising the messages; no-op on the empty list. *)

@@ -24,5 +24,7 @@ let () =
       ("models", Test_models.suite);
       ("apps", Test_apps.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
+      ("sanitize", Test_sanitize.suite);
       ("smoke", Test_smoke.suite);
     ]

@@ -329,6 +329,16 @@ let test_config_validation () =
     (ok { Config.default with Config.conits = [ Conit.declare "c"; Conit.declare "c" ] });
   Alcotest.(check bool) "negative bound" false
     (ok { Config.default with Config.conits = [ Conit.declare ~ne_bound:(-1.0) "c" ] });
+  Alcotest.(check bool) "negative oe bound" false
+    (ok { Config.default with Config.conits = [ Conit.declare ~oe_bound:(-1.0) "c" ] });
+  Alcotest.(check bool) "nan st bound" false
+    (ok { Config.default with Config.conits = [ Conit.declare ~st_bound:Float.nan "c" ] });
+  Alcotest.(check bool) "gossip target out of range" false
+    (ok { Config.default with Config.gossip_plan = Some (fun _ -> [| 3 |]) });
+  Alcotest.(check bool) "gossip self target" false
+    (ok { Config.default with Config.gossip_plan = Some (fun i -> [| i |]) });
+  Alcotest.(check bool) "gossip ring valid" true
+    (ok { Config.default with Config.gossip_plan = Some (fun i -> [| (i + 1) mod 3 |]) });
   Alcotest.(check bool) "system rejects invalid" true
     (try
        ignore
@@ -373,10 +383,11 @@ let test_gossip_plan_validated () =
       gossip_plan = Some (fun _ -> [| 99 |]);
     }
   in
-  let sys = System.create ~topology:(topo 3) ~config () in
-  Alcotest.(check bool) "bad plan rejected at start" true
+  (* Config.validate probes the plan for every replica id, so the bad plan
+     is rejected at creation, before any replica starts. *)
+  Alcotest.(check bool) "bad plan rejected at create" true
     (try
-       System.run ~until:1.0 sys;
+       ignore (System.create ~topology:(topo 3) ~config ());
        false
      with Invalid_argument _ -> true)
 

@@ -1,0 +1,114 @@
+(* The invariant sanitizer: healthy structures audit clean, injected
+   corruption is detected with a position, and a whole system runs clean in
+   checking mode. *)
+
+open Tact_sim
+open Tact_store
+open Tact_core
+open Tact_replica
+module Sanitize = Tact_util.Sanitize
+
+let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
+
+let mk ?(op = Op.Noop) ?(affects = [ unit_w "c" ]) ~origin ~seq ~t () =
+  { Write.id = { origin; seq }; accept_time = t; op; affects }
+
+let with_sanitize f =
+  Sanitize.set_enabled true;
+  Fun.protect ~finally:Sanitize.clear_forced f
+
+(* A log with four tentative writes from two origins and one committed. *)
+let sample_log () =
+  let log = Wlog.create ~replicas:2 ~initial:[] in
+  List.iter
+    (fun (origin, seq, t) ->
+      ignore (Wlog.accept log (mk ~op:(Op.Add ("x", 1.0)) ~origin ~seq ~t ())))
+    [ (0, 1, 1.0); (1, 1, 1.5); (0, 2, 2.0); (1, 2, 2.5); (0, 3, 3.0) ];
+  ignore (Wlog.commit_stable log ~cover:[| 1.2; 1.2 |]);
+  log
+
+let test_healthy_clean () =
+  let log = sample_log () in
+  Alcotest.(check (list string)) "no violations" [] (Wlog.invariant_violations log);
+  with_sanitize (fun () -> Wlog.sanitize log)
+
+let test_swap_detected () =
+  let log = sample_log () in
+  (* Swap two tentative entries: the suffix is no longer in ts order. *)
+  Wlog.unsafe_swap_tentative log 0 2;
+  let vs = Wlog.invariant_violations log in
+  Alcotest.(check bool) "violations found" true (vs <> []);
+  let mentions sub s =
+    let n = String.length sub in
+    let found = ref false in
+    for k = 0 to String.length s - n do
+      if String.sub s k n = sub then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "names a position" true
+    (List.exists (mentions "out of order at positions") vs);
+  with_sanitize (fun () ->
+      match Wlog.sanitize ~ctx:"test" log with
+      | () -> Alcotest.fail "sanitize accepted a corrupted log"
+      | exception Sanitize.Violation msg ->
+        Alcotest.(check bool) "carries the context" true (mentions "[test]" msg))
+
+let test_disabled_is_noop () =
+  let log = sample_log () in
+  Wlog.unsafe_swap_tentative log 0 2;
+  (* Off by default: sanitize must not audit, let alone raise. *)
+  Sanitize.clear_forced ();
+  if not (Sanitize.enabled ()) then Wlog.sanitize log
+
+let test_db_corruption_detected () =
+  let log = sample_log () in
+  (* Bypass the log: plant a key no tentative write touches.  Undo records
+     restore absolute prior values for the keys they cover, so only damage
+     outside the journalled key set survives the revert — and the round-trip
+     against the committed image catches exactly that. *)
+  Db.set (Wlog.db log) "y" (Value.Float 999.0);
+  let vs = Wlog.invariant_violations log in
+  Alcotest.(check bool) "undo round-trip fails" true (vs <> [])
+
+let test_system_runs_clean () =
+  (* A small partitioned run with pushes, pulls, commits and healing — the
+     sanitizer audits every replica after every step. *)
+  with_sanitize (fun () ->
+      let topology = Topology.uniform ~n:3 ~latency:0.02 ~bandwidth:1_000_000.0 in
+      let config =
+        {
+          Config.default with
+          Config.conits = [ Conit.declare ~ne_bound:3.0 "c" ];
+          antientropy_period = Some 0.5;
+        }
+      in
+      let sys = System.create ~seed:7 ~topology ~config () in
+      let engine = System.engine sys in
+      for i = 0 to 2 do
+        let r = System.replica sys i in
+        Tact_workload.Workload.staggered engine ~start:0.1 ~gap:0.3 ~count:20
+          (fun k ->
+            Replica.submit_write r ~deps:[]
+              ~affects:[ unit_w "c" ]
+              ~op:(Op.Add ("x", float_of_int ((k mod 3) + i)))
+              ~k:ignore)
+      done;
+      Engine.at engine ~time:2.0 (fun () ->
+          Net.partition (System.net sys) [ 0; 1 ] [ 2 ]);
+      Engine.at engine ~time:4.0 (fun () -> Net.heal (System.net sys));
+      System.run ~until:12.0 sys;
+      (* And the explicit per-replica audit hook is callable. *)
+      for i = 0 to 2 do
+        Replica.sanity_check (System.replica sys i)
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "healthy log audits clean" `Quick test_healthy_clean;
+    Alcotest.test_case "tentative swap detected" `Quick test_swap_detected;
+    Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "db corruption detected" `Quick test_db_corruption_detected;
+    Alcotest.test_case "system runs clean under sanitizer" `Quick
+      test_system_runs_clean;
+  ]
