@@ -1,0 +1,158 @@
+(* Systematic interleaving checker over the named lib/check scenarios.
+
+   Usage:
+     tact_check list
+     tact_check run SCENARIO [OPTIONS]
+     tact_check all [OPTIONS]
+     tact_check replay TRACE.json
+
+   Options:
+     --smoke            tight budgets for CI (defaults tuned to finish fast)
+     --depth N          branch only at the first N choice-phase steps
+     --preemptions N    max deviations per schedule
+     --window SECONDS   deviate only to events this close to the earliest
+     --max-schedules N  execution budget per scenario (0 = unlimited)
+     --no-prune         disable commute-forward pruning
+     --no-dedup         disable fingerprint deduplication
+     --trace-dir DIR    where to write counterexample traces (default ".")
+
+   Exit status: 0 all explored scenarios pass (or a replay reproduces its
+   trace exactly), 1 a violation was found (trace written) or a replay did
+   not reproduce, 2 usage error. *)
+
+open Tact_check
+
+let usage () =
+  prerr_endline
+    "usage: tact_check list | run SCENARIO [opts] | all [opts] | replay TRACE";
+  prerr_endline "       opts: --smoke --depth N --preemptions N --window W";
+  prerr_endline
+    "             --max-schedules N --no-prune --no-dedup --trace-dir DIR";
+  exit 2
+
+type cli = {
+  mutable options : Explorer.options;
+  mutable trace_dir : string;
+}
+
+let parse_options args =
+  let cli = { options = Explorer.default_options; trace_dir = "." } in
+  let rec go = function
+    | [] -> cli
+    | "--smoke" :: rest ->
+      cli.options <- Explorer.smoke_options;
+      go rest
+    | "--depth" :: v :: rest ->
+      cli.options <- { cli.options with Explorer.depth = int_of_string v };
+      go rest
+    | "--preemptions" :: v :: rest ->
+      cli.options <- { cli.options with Explorer.preemptions = int_of_string v };
+      go rest
+    | "--window" :: v :: rest ->
+      cli.options <- { cli.options with Explorer.window = float_of_string v };
+      go rest
+    | "--max-schedules" :: v :: rest ->
+      cli.options <- { cli.options with Explorer.max_schedules = int_of_string v };
+      go rest
+    | "--no-prune" :: rest ->
+      cli.options <- { cli.options with Explorer.prune = false };
+      go rest
+    | "--no-dedup" :: rest ->
+      cli.options <- { cli.options with Explorer.dedup = false };
+      go rest
+    | "--trace-dir" :: v :: rest ->
+      cli.trace_dir <- v;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "tact_check: unknown option %s\n" arg;
+      usage ()
+  in
+  try go args
+  with Failure _ ->
+    prerr_endline "tact_check: bad numeric option value";
+    usage ()
+
+let trace_path cli (sc : Scenario.t) =
+  Filename.concat cli.trace_dir
+    (Printf.sprintf "tact_check.%s.trace.json" sc.Scenario.name)
+
+let check_one cli (sc : Scenario.t) =
+  let start = Sys.time () in
+  let outcome = Explorer.explore ~options:cli.options sc in
+  let elapsed = Sys.time () -. start in
+  let s = outcome.Explorer.stats in
+  match outcome.Explorer.counterexample with
+  | None ->
+    Printf.printf
+      "%-16s %s: %d schedules, %d states deduped, %d pruned, max %d steps, 0 \
+       violations (%.1fs)\n"
+      sc.Scenario.name
+      (if s.Explorer.exhausted then "exhausted" else "budget-capped")
+      s.Explorer.schedules s.Explorer.deduped s.Explorer.pruned
+      s.Explorer.max_steps elapsed;
+    true
+  | Some cx ->
+    let path = trace_path cli sc in
+    Counterexample.save ~path cx;
+    Printf.printf
+      "%-16s VIOLATION after %d schedules (%d-deviation counterexample, \
+       minimized):\n"
+      sc.Scenario.name s.Explorer.schedules
+      (List.length cx.Counterexample.deviations);
+    List.iter (Printf.printf "  %s\n") cx.Counterexample.violations;
+    Printf.printf "  trace written to %s (replay with: tact_check replay %s)\n"
+      path path;
+    false
+
+let run_scenarios cli scs =
+  let ok = List.for_all (fun sc -> check_one cli sc) scs in
+  if ok then 0 else 1
+
+let replay path =
+  match Counterexample.load ~path with
+  | Error m ->
+    Printf.eprintf "tact_check: cannot load %s: %s\n" path m;
+    exit 2
+  | Ok cx -> (
+    match Scenario.find cx.Counterexample.scenario with
+    | None ->
+      Printf.eprintf "tact_check: trace names unknown scenario %s\n"
+        cx.Counterexample.scenario;
+      exit 2
+    | Some sc ->
+      let v = Counterexample.replay ~sanitize:true sc cx in
+      Printf.printf "replaying %s on %s: %d deviations, %d steps\n" path
+        sc.Scenario.name
+        (List.length cx.Counterexample.deviations)
+        (Array.length v.Counterexample.result.Runner.steps);
+      List.iter
+        (Printf.printf "  %s\n")
+        v.Counterexample.result.Runner.violations;
+      let fp_ok = v.Counterexample.fingerprint_match in
+      let viol_ok =
+        v.Counterexample.reproduced = (cx.Counterexample.violations <> [])
+      in
+      Printf.printf "  violations reproduced: %b, final fingerprint match: %b\n"
+        v.Counterexample.reproduced fp_ok;
+      if fp_ok && viol_ok then 0 else 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ ->
+    List.iter
+      (fun (sc : Scenario.t) ->
+        Printf.printf "%-16s %d replicas, horizon %gs — %s\n" sc.Scenario.name
+          sc.Scenario.replicas sc.Scenario.horizon sc.Scenario.summary)
+      Scenario.all;
+    exit 0
+  | _ :: "run" :: name :: args -> (
+    match Scenario.find name with
+    | None ->
+      Printf.eprintf "tact_check: unknown scenario %s (try: tact_check list)\n"
+        name;
+      exit 2
+    | Some sc -> exit (run_scenarios (parse_options args) [ sc ]))
+  | _ :: "all" :: args ->
+    exit (run_scenarios (parse_options args) Scenario.all)
+  | _ :: "replay" :: path :: _ -> exit (replay path)
+  | _ -> usage ()

@@ -3,8 +3,11 @@
    A small textual pass over [.ml] files that flags patterns this codebase
    forbids on its deterministic paths: polymorphic comparison, unspecified
    Hashtbl iteration order, naked [failwith], wall-clock reads, global Random
-   state, and [Obj.magic].  Comments and string literals are stripped before
-   matching, so prose never trips a rule.
+   state, [Obj.magic], exact float (in)equality on the metrics/bounds paths
+   (lib/core, lib/replica, lib/protocols, lib/check), and mutable
+   module-level state outside lib/util (the interleaving checker replays
+   runs in-process, so modules must be re-entrant).  Comments and string
+   literals are stripped before matching, so prose never trips a rule.
 
    A finding is suppressed by a [(* lint: allow <rule> -- why *)] comment on
    the same line or the line directly above it.  Exit status 1 when any
@@ -36,6 +39,15 @@ let rules =
       explain = "global Random state breaks run-to-run determinism; use a \
                  seeded Random.State" };
     { rule_name = "obj-magic"; explain = "Obj.magic defeats the type system" };
+    { rule_name = "float-equal";
+      explain =
+        "float =/<> is exact; use Float.equal or an epsilon comparison \
+         (metrics/bounds arithmetic accumulates rounding error)" };
+    { rule_name = "module-state";
+      explain =
+        "mutable module-level state breaks re-entrancy; the checker replays \
+         runs in-process, so scope it inside a value or annotate why it is \
+         safe" };
   ]
 
 type finding = { file : string; line : int; frule : rule; snippet : string }
@@ -171,7 +183,8 @@ let strip src =
 (* --- allow annotations ------------------------------------------------- *)
 
 (* [(* lint: allow rule-a, rule-b -- rationale *)] suppresses those rules on
-   the comment's line and the next. *)
+   the comment's lines and the line after it ends, so a multi-line rationale
+   still covers the annotated code. *)
 let allowances comments =
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -193,8 +206,11 @@ let allowances comments =
                 if String.sub spec k rlen = rule_name then found := true
               done;
               if !found then begin
-                Hashtbl.replace tbl (cline, rule_name) ();
-                Hashtbl.replace tbl (cline + 1, rule_name) ()
+                let last = ref cline in
+                String.iter (fun c -> if c = '\n' then incr last) text;
+                for l = cline to !last + 1 do
+                  Hashtbl.replace tbl (l, rule_name) ()
+                done
               end)
             rules
         | _ -> ())
@@ -256,9 +272,179 @@ let bare_compare line =
   done;
   !bad
 
-let check_line line =
+(* Tokens for the float-equal rule: identifiers possibly qualified or
+   projected ([Float.abs], [b.ne]) and numeric literals ([0.0], [1e9]). *)
+let is_tok_char c = is_ident_char c || c = '.'
+
+let token_after line k =
+  let n = String.length line in
+  let i = ref k in
+  while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
+    incr i
+  done;
+  let start = !i in
+  while !i < n && is_tok_char line.[!i] do
+    incr i
+  done;
+  String.sub line start (!i - start)
+
+(* Last token ending strictly before [k], with its start index. *)
+let token_before line k =
+  let j = ref (k - 1) in
+  while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
+    decr j
+  done;
+  let stop = !j in
+  while !j >= 0 && is_tok_char line.[!j] do
+    decr j
+  done;
+  (String.sub line (!j + 1) (stop - !j), !j + 1)
+
+let float_const_names =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
+
+let is_float_literal tok =
+  let n = String.length tok in
+  if n = 0 then false
+  else if List.exists (String.equal tok) float_const_names then true
+  else if tok.[0] >= '0' && tok.[0] <= '9' then
+    if
+      n > 1 && tok.[0] = '0'
+      && (let c = tok.[1] in
+          c = 'x' || c = 'X' || c = 'o' || c = 'O' || c = 'b' || c = 'B')
+    then false (* hex/octal/binary int *)
+    else begin
+      let has = ref false in
+      String.iter (fun c -> if c = '.' || c = 'e' || c = 'E' then has := true) tok;
+      !has
+    end
+  else false
+
+let op_char c =
+  match c with
+  | '=' | '<' | '>' | '!' | ':' | '+' | '-' | '*' | '/' | '&' | '|' | '@' | '^'
+  | '$' | '%' | '~' | '?' ->
+    true
+  | _ -> false
+
+(* Exact float (in)equality: a standalone [=] or [<>] whose left or right
+   operand is a float literal or named float constant.  Binding contexts —
+   [let x = 0.0], record fields ([{ ne = 0.0; ... }], including multiline
+   fields that start their line), optional arguments [?(ne = infinity)] —
+   are not comparisons and are skipped. *)
+let float_equal_hit line =
+  let n = String.length line in
+  let hit = ref false in
+  for k = 0 to n - 1 do
+    let op_len =
+      if
+        line.[k] = '<'
+        && k + 1 < n
+        && line.[k + 1] = '>'
+        && (k = 0 || not (op_char line.[k - 1]))
+        && (k + 2 >= n || not (op_char line.[k + 2]))
+      then 2
+      else if
+        line.[k] = '='
+        && (k = 0 || not (op_char line.[k - 1]))
+        && (k + 1 >= n || not (op_char line.[k + 1]))
+      then 1
+      else 0
+    in
+    if op_len > 0 then begin
+      let right = token_after line (k + op_len) in
+      let left, lstart = token_before line k in
+      if is_float_literal right || is_float_literal left then
+        if op_len = 2 then hit := true (* <> is never a binding *)
+        else begin
+          let j = ref (lstart - 1) in
+          while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
+            decr j
+          done;
+          let binding =
+            if !j < 0 then
+              (* operand opens the line: a wrapped record field like
+                 [retry_period = 1.0;] — unless it is a projection, which
+                 cannot be a field label in a binding *)
+              not (String.contains left '.')
+            else
+              match line.[!j] with
+              | '{' | ';' | ',' | '(' -> true
+              | _ -> (
+                match prev_word line lstart with
+                | "let" | "rec" | "and" | "val" | "mutable" | "method" | "with"
+                  ->
+                  true
+                | _ -> false)
+          in
+          if not binding then hit := true
+        end
+    end
+  done;
+  !hit
+
+(* Module-level mutable state: a column-0 [let NAME = <creator> ...] (with an
+   optional type annotation) whose right-hand side is [ref] or a mutable
+   container constructor.  [let f args = ref ...] defines a function and is
+   fine — fresh state per call. *)
+let creator_names =
+  [ "ref"; "Hashtbl.create"; "Queue.create"; "Buffer.create"; "Stack.create";
+    "Array.make"; "Array.create_float"; "Bytes.make"; "Bytes.create";
+    "Atomic.make" ]
+
+let module_state_hit line =
+  let n = String.length line in
+  if n < 4 || not (String.equal (String.sub line 0 4) "let ") then false
+  else begin
+    let i = ref 4 in
+    while !i < n && line.[!i] = ' ' do
+      incr i
+    done;
+    let start = !i in
+    while !i < n && is_ident_char line.[!i] do
+      incr i
+    done;
+    if !i = start then false (* [let () = ...], [let ( + ) = ...] *)
+    else begin
+      while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
+        incr i
+      done;
+      let eq_pos =
+        if !i < n && line.[!i] = '=' then Some !i
+        else if !i < n && line.[!i] = ':' then begin
+          (* skip the type annotation to the binding's [=] *)
+          let j = ref (!i + 1) in
+          while !j < n && line.[!j] <> '=' do
+            incr j
+          done;
+          if !j < n then Some !j else None
+        end
+        else None (* parameters follow: a function definition *)
+      in
+      match eq_pos with
+      | None -> false
+      | Some e ->
+        let rhs = token_after line (e + 1) in
+        List.exists (String.equal rhs) creator_names
+    end
+  end
+
+(* Substring directory test so both relative and absolute roots scope
+   correctly: does [dir ^ "/"] occur in [path]? *)
+let in_dir path dir =
+  let d = dir ^ "/" in
+  let dl = String.length d and n = String.length path in
+  let found = ref false in
+  for k = 0 to n - dl do
+    if String.equal (String.sub path k dl) d then found := true
+  done;
+  !found
+
+let check_line ~floats ~modstate line =
   let hits = ref [] in
   let add r = hits := rule r :: !hits in
+  if floats && float_equal_hit line then add "float-equal";
+  if modstate && module_state_hit line then add "module-state";
   if bare_compare line || has_token ~qualified:true line "Stdlib.compare" then
     add "polymorphic-compare";
   if has_token ~qualified:true line "Hashtbl.iter" then add "hashtbl-iter";
@@ -290,6 +476,15 @@ let lint_file findings path =
   let stripped, comments = strip src in
   let allowed = allowances comments in
   let lines = String.split_on_char '\n' stripped in
+  (* Path scoping: float equality is policed on the metrics/bounds
+     arithmetic paths; module-level state everywhere except lib/util
+     (whose containers — pools, interners — are the sanctioned homes for
+     it). *)
+  let floats =
+    in_dir path "lib/core" || in_dir path "lib/replica"
+    || in_dir path "lib/protocols" || in_dir path "lib/check"
+  in
+  let modstate = not (in_dir path "lib/util") in
   List.iteri
     (fun idx line ->
       let lno = idx + 1 in
@@ -299,7 +494,7 @@ let lint_file findings path =
             findings :=
               { file = path; line = lno; frule = r; snippet = String.trim line }
               :: !findings)
-        (check_line line))
+        (check_line ~floats ~modstate line))
     lines
 
 let rec walk findings path =

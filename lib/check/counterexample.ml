@@ -1,0 +1,129 @@
+type t = {
+  scenario : string;
+  deviations : (int * int) list;
+  violations : string list;
+  final_fp : Fingerprint.t;
+  steps : int;
+}
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                        *)
+
+(* Greedy delta-debugging over the deviation map: repeatedly drop any single
+   deviation whose removal still yields a violating execution, until no
+   single removal does.  Deviations are independent coordinates of the
+   schedule (removing one never invalidates the others' step indices — the
+   prefix up to the earliest remaining deviation is unchanged), so greedy
+   removal is sound, and the small budgets keep the quadratic re-run count
+   trivial. *)
+let minimize (sc : Scenario.t) deviations =
+  let fails ds = (Runner.run sc ~deviations:ds).Runner.violations <> [] in
+  let rec shrink ds =
+    let n = List.length ds in
+    let rec try_drop i =
+      if i >= n then ds
+      else
+        let without = List.filteri (fun j _ -> j <> i) ds in
+        if fails without then shrink without else try_drop (i + 1)
+    in
+    try_drop 0
+  in
+  if fails deviations then shrink deviations else deviations
+
+let of_result ~scenario ~deviations (r : Runner.result) =
+  {
+    scenario;
+    deviations;
+    violations = r.Runner.violations;
+    final_fp = r.Runner.final_fp;
+    steps = Array.length r.Runner.steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization                                                  *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Num (float_of_int version));
+      ("scenario", Json.Str t.scenario);
+      ( "deviations",
+        Json.Arr
+          (List.map
+             (fun (step, seq) ->
+               Json.Arr
+                 [ Json.Num (float_of_int step); Json.Num (float_of_int seq) ])
+             t.deviations) );
+      ("violations", Json.Arr (List.map (fun v -> Json.Str v) t.violations));
+      ("final_fingerprint", Json.Str (Fingerprint.to_hex t.final_fp));
+      ("steps", Json.Num (float_of_int t.steps));
+    ]
+
+let of_json j =
+  let ( let* ) x f = match x with Some v -> f v | None -> Error "malformed trace" in
+  let* v = Option.bind (Json.member "version" j) Json.to_int in
+  if v <> version then
+    Error (Printf.sprintf "unsupported trace version %d (expected %d)" v version)
+  else
+    let* scenario = Option.bind (Json.member "scenario" j) Json.to_str in
+    let* dev_items = Option.bind (Json.member "deviations" j) Json.to_list in
+    let* deviations =
+      List.fold_right
+        (fun item acc ->
+          Option.bind acc (fun acc ->
+              match Json.to_list item with
+              | Some [ s; q ] -> (
+                match (Json.to_int s, Json.to_int q) with
+                | Some s, Some q -> Some ((s, q) :: acc)
+                | _ -> None)
+              | _ -> None))
+        dev_items (Some [])
+    in
+    let* viol_items = Option.bind (Json.member "violations" j) Json.to_list in
+    let* violations =
+      List.fold_right
+        (fun item acc -> Option.bind acc (fun acc ->
+             Option.map (fun s -> s :: acc) (Json.to_str item)))
+        viol_items (Some [])
+    in
+    let* fp_hex = Option.bind (Json.member "final_fingerprint" j) Json.to_str in
+    let* final_fp = Fingerprint.of_hex fp_hex in
+    let* steps = Option.bind (Json.member "steps" j) Json.to_int in
+    Ok { scenario; deviations; violations; final_fp; steps }
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | contents -> Result.bind (Json.parse contents) of_json
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+type replay_verdict = {
+  result : Runner.result;
+  reproduced : bool;  (* violations observed again *)
+  fingerprint_match : bool;  (* final state identical to the recorded one *)
+}
+
+let replay ?(sanitize = true) (sc : Scenario.t) t =
+  let result = Runner.run ~sanitize sc ~deviations:t.deviations in
+  {
+    result;
+    reproduced = result.Runner.violations <> [];
+    fingerprint_match = Fingerprint.equal result.Runner.final_fp t.final_fp;
+  }

@@ -1,0 +1,41 @@
+(** Replayable counterexample traces.
+
+    A counterexample is a scenario name plus the minimized deviation map that
+    makes it fail, with the observed violations and a fingerprint of the
+    final state.  Because scenarios are deterministic, this is a complete
+    encoding of the failing execution: replaying the deviations reproduces
+    it bit for bit, which is what the JSON round-trip and the
+    [tact_check --replay] flow rely on. *)
+
+type t = {
+  scenario : string;
+  deviations : (int * int) list;
+  violations : string list;
+  final_fp : Fingerprint.t;
+  steps : int;
+}
+
+val minimize : Scenario.t -> (int * int) list -> (int * int) list
+(** Greedy delta-debugging: drop every deviation whose removal keeps the
+    execution violating, to a local minimum.  Returns the input unchanged if
+    it does not actually violate. *)
+
+val of_result :
+  scenario:string -> deviations:(int * int) list -> Runner.result -> t
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+type replay_verdict = {
+  result : Runner.result;
+  reproduced : bool;  (** did the replay violate again? *)
+  fingerprint_match : bool;
+      (** does the replay's final state match the recorded fingerprint? *)
+}
+
+val replay : ?sanitize:bool -> Scenario.t -> t -> replay_verdict
+(** Re-execute the trace deterministically; [sanitize] (default true) runs it
+    under the runtime invariant sanitizer. *)

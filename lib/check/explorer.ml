@@ -1,0 +1,158 @@
+open Tact_sim
+
+type options = {
+  depth : int;
+  preemptions : int;
+  window : float;
+  prune : bool;
+  dedup : bool;
+  max_schedules : int;
+}
+
+let default_options =
+  {
+    depth = 20;
+    preemptions = 3;
+    window = 0.25;
+    prune = true;
+    dedup = true;
+    max_schedules = 50_000;
+  }
+
+let smoke_options =
+  {
+    default_options with
+    depth = 16;
+    preemptions = 2;
+    window = 0.2;
+    max_schedules = 2_000;
+  }
+
+type stats = {
+  schedules : int;
+  deduped : int;
+  pruned : int;
+  max_steps : int;
+  diverged : int;
+  exhausted : bool;
+}
+
+type outcome = {
+  stats : stats;
+  counterexample : Counterexample.t option;
+}
+
+(* Independence heuristic for the commute-forward (sleep-set-style) pruning:
+   two dispatches commute when they act on distinct replicas.  This abstracts
+   from the virtual clock (a delayed dispatch observes a later [now]) and
+   from shared infrastructure like traffic counters, so it can prune a
+   schedule whose clock readings would have differed — a deliberate coverage
+   trade documented in doc/CHECKING.md, switchable off with [prune = false].
+   It can only ever skip schedules; violations are always judged on real
+   executions. *)
+let independent (a : Engine.choice) (b : Engine.choice) =
+  match (a.Engine.c_label, b.Engine.c_label) with
+  | Some la, Some lb ->
+    la.Engine.actor >= 0 && lb.Engine.actor >= 0
+    && la.Engine.actor <> lb.Engine.actor
+  | _ -> false
+
+(* Would deviating to [alt] at step [i] just commute forward?  If the same
+   event fires anyway at some later step [j] of this run, and every event
+   actually chosen in [i, j) is independent of it, then the deviation
+   reorders commuting dispatches and reaches an already-covered state. *)
+let commutes_forward (steps : Runner.step array) i (alt : Engine.choice) =
+  let n = Array.length steps in
+  let rec scan j =
+    if j >= n then false
+    else
+      let st = steps.(j) in
+      let chosen = st.Runner.ready.(st.Runner.chosen) in
+      if chosen.Engine.c_seq = alt.Engine.c_seq then true
+      else independent chosen alt && scan (j + 1)
+  in
+  scan (i + 1)
+
+let explore ?(options = default_options) (sc : Scenario.t) =
+  let visited : (Fingerprint.t * int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let schedules = ref 0 in
+  let deduped = ref 0 in
+  let pruned = ref 0 in
+  let max_steps = ref 0 in
+  let diverged = ref 0 in
+  let counterexample = ref None in
+  (* DFS over deviation maps.  Each stack entry is (deviations, floor): the
+     schedule to run, and the first step at which it may branch further —
+     one past its own last deviation, so alternatives are enumerated exactly
+     once across the tree. *)
+  let stack = ref [ ([], 0) ] in
+  let budget_left () =
+    options.max_schedules <= 0 || !schedules < options.max_schedules
+  in
+  while !stack <> [] && Option.is_none !counterexample && budget_left () do
+    match !stack with
+    | [] -> ()
+    | (deviations, floor) :: rest ->
+      stack := rest;
+      let r = Runner.run sc ~deviations in
+      incr schedules;
+      let nsteps = Array.length r.Runner.steps in
+      if nsteps > !max_steps then max_steps := nsteps;
+      diverged := !diverged + r.Runner.diverged;
+      if r.Runner.violations <> [] then begin
+        let minimized = Counterexample.minimize sc deviations in
+        let final = Runner.run sc ~deviations:minimized in
+        counterexample :=
+          Some
+            (Counterexample.of_result ~scenario:sc.Scenario.name
+               ~deviations:minimized final)
+      end
+      else begin
+        let can_deviate = List.length deviations < options.preemptions in
+        let children = ref [] in
+        if can_deviate then
+          for i = floor to Stdlib.min nsteps options.depth - 1 do
+            let st = r.Runner.steps.(i) in
+            let ready = st.Runner.ready in
+            let chosen_seq = ready.(st.Runner.chosen).Engine.c_seq in
+            (* The default continuation from this state is witnessed by the
+               current run; record it so other paths reaching the same state
+               skip it. *)
+            if options.dedup then
+              Hashtbl.replace visited (st.Runner.fp, chosen_seq) ();
+            let t0 = ready.(0).Engine.c_time in
+            Array.iteri
+              (fun j (c : Engine.choice) ->
+                if j <> st.Runner.chosen
+                   && c.Engine.c_time <= t0 +. options.window
+                then begin
+                  let key = (st.Runner.fp, c.Engine.c_seq) in
+                  if options.dedup && Hashtbl.mem visited key then
+                    incr deduped
+                  else if options.prune && commutes_forward r.Runner.steps i c
+                  then incr pruned
+                  else begin
+                    if options.dedup then Hashtbl.replace visited key ();
+                    children :=
+                      (deviations @ [ (i, c.Engine.c_seq) ], i + 1) :: !children
+                  end
+                end)
+              ready
+          done;
+        (* Push in reverse so exploration visits earliest-step deviations
+           first — counterexamples then surface with short prefixes. *)
+        stack := List.rev_append !children !stack
+      end
+  done;
+  {
+    stats =
+      {
+        schedules = !schedules;
+        deduped = !deduped;
+        pruned = !pruned;
+        max_steps = !max_steps;
+        diverged = !diverged;
+        exhausted = !stack = [] && Option.is_none !counterexample;
+      };
+    counterexample = !counterexample;
+  }

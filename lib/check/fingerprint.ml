@@ -1,0 +1,93 @@
+open Tact_store
+
+(* FNV-1a, 64-bit.  Not cryptographic — collisions merely make the explorer
+   skip a branch it should have taken (dedup is a heuristic; see CHECKING.md).
+   Oracles always run on real executions, so a collision can never produce a
+   false violation. *)
+
+type t = int64
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let feed_int h i =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h ((i lsr (8 * shift)) land 0xff)
+  done;
+  !h
+
+let feed_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical x (8 * shift)))
+  done;
+  !h
+
+let feed_float h x = feed_int64 h (Int64.bits_of_float x)
+
+let feed_string h s =
+  let h = ref (feed_int h (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let feed_bool h b = byte h (if b then 1 else 0)
+
+let feed_id h (id : Write.id) = feed_int (feed_int h id.Write.origin) id.Write.seq
+
+let feed_replica h r =
+  let wlog = Tact_replica.Replica.log r in
+  let vec = Wlog.vector wlog in
+  let h = ref h in
+  for o = 0 to Version_vector.size vec - 1 do
+    h := feed_int !h (Version_vector.get vec o)
+  done;
+  List.iter
+    (fun (w : Write.t) -> h := feed_id !h w.Write.id)
+    (Wlog.committed wlog);
+  List.iter (fun id -> h := feed_id !h id) (Wlog.tentative_ids wlog);
+  let db = Wlog.db wlog in
+  List.iter
+    (fun k -> h := feed_string (feed_string !h k) (Value.to_string (Db.get db k)))
+    (List.sort String.compare (Db.keys db));
+  h := feed_int !h (Tact_replica.Replica.pending_count r);
+  h := feed_bool !h (Tact_replica.Replica.is_up r);
+  !h
+
+(* Pending events enter the hash as (relative time, actor, tag) — relative so
+   that two states differing only by a clock offset can coincide, sorted so
+   the hash sees a canonical multiset rather than insertion order. *)
+let pending_key ~now (c : Tact_sim.Engine.choice) =
+  let actor, tag =
+    match c.Tact_sim.Engine.c_label with
+    | Some l -> (l.Tact_sim.Engine.actor, l.Tact_sim.Engine.tag)
+    | None -> (-1, "")
+  in
+  (c.Tact_sim.Engine.c_time -. now, actor, tag)
+
+let compare_pending (t1, a1, s1) (t2, a2, s2) =
+  match Float.compare t1 t2 with
+  | 0 -> ( match Int.compare a1 a2 with 0 -> String.compare s1 s2 | c -> c)
+  | c -> c
+
+let state sys ~now pending =
+  let h = ref fnv_offset in
+  for i = 0 to Tact_replica.System.size sys - 1 do
+    h := feed_replica !h (Tact_replica.System.replica sys i)
+  done;
+  let keys = List.sort compare_pending (List.map (pending_key ~now) (Array.to_list pending)) in
+  List.iter
+    (fun (dt, actor, tag) ->
+      h := feed_string (feed_int (feed_float !h dt) actor) tag)
+    keys;
+  !h
+
+let to_hex h = Printf.sprintf "0x%016Lx" h
+
+let of_hex s =
+  let s = if String.length s > 2 && String.sub s 0 2 = "0x" then String.sub s 2 (String.length s - 2) else s in
+  Int64.of_string_opt ("0x" ^ s)
+
+let equal = Int64.equal

@@ -1,0 +1,24 @@
+(** Canonical state hashing for schedule deduplication.
+
+    A fingerprint digests everything that determines a small system's future
+    under the deterministic default scheduler: per-replica log state (version
+    vector, committed order, tentative suffix, full database image, parked
+    accesses, liveness) plus the multiset of pending engine events keyed by
+    (time relative to the clock, actor, tag).
+
+    Fingerprints are a {e pruning heuristic}, not a soundness argument: the
+    hash is FNV-1a (collisions possible) and pending-event identity is
+    approximated by label + relative time.  A wrong match makes the explorer
+    skip a schedule; it can never invent a violation, because oracles only
+    run over schedules that actually executed. *)
+
+type t = int64
+
+val state :
+  Tact_replica.System.t -> now:float -> Tact_sim.Engine.choice array -> t
+(** Hash the system plus its pending events ([now] anchors relative times —
+    pass the engine clock). *)
+
+val to_hex : t -> string
+val of_hex : string -> t option
+val equal : t -> t -> bool

@@ -1,0 +1,21 @@
+(** Consistency-guarantee oracles, run over a completed (quiesced) execution.
+
+    Four families, toggled per scenario (see {!Scenario.checks}):
+
+    - {b O1 bounds}: every served access respected its requested NE/OE/ST
+      bounds, recomputed omnisciently against the ECG reference history
+      ({!Tact_replica.Verify}).
+    - {b O2 committed order}: replicas pairwise agree on the committed prefix
+      (1SR), and the longest committed order is external- and/or causal-order
+      compatible ({!Tact_core.Ecg}).
+    - {b O3 convergence}: after quiescence all replicas hold equal version
+      vectors and equal full database images.
+    - {b O4 Theorem 1}: the numerical error any access actually experienced
+      stays within the conit's {e declared} system-wide bound — the
+      self-determined guarantee of the push protocol — regardless of what the
+      access asked for.
+
+    Each violated property yields one human-readable line; the empty list
+    means the execution passed. *)
+
+val run : Scenario.t -> Tact_replica.System.t -> string list

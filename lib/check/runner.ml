@@ -1,0 +1,86 @@
+open Tact_sim
+
+(* A schedule is identified by its deviations from the default (time, seq)
+   dispatch order: a sorted [(step, seq)] map saying "at step [step], fire
+   the pending event with sequence number [seq] instead of the earliest one".
+   Steps not named fire the default choice (index 0).  Because scenarios are
+   deterministic, replaying the same deviations reproduces the same execution
+   bit for bit — and removing a deviation leaves every earlier step
+   untouched, which is what makes greedy trace minimization sound. *)
+
+type step = {
+  ready : Engine.choice array;  (* pending events at this step, (time, seq)-sorted *)
+  chosen : int;  (* index fired *)
+  fp : Fingerprint.t;  (* state hash before the dispatch *)
+}
+
+type result = {
+  steps : step array;
+  sys : Tact_replica.System.t;
+  violations : string list;
+  final_fp : Fingerprint.t;
+  diverged : int;  (* deviations whose seq was absent (perturbed replays) *)
+}
+
+let find_seq choices seq =
+  let found = ref None in
+  Array.iteri
+    (fun i (c : Engine.choice) ->
+      if Option.is_none !found && c.Engine.c_seq = seq then found := Some i)
+    choices;
+  !found
+
+let run ?(sanitize = false) (sc : Scenario.t) ~deviations =
+  let sys = sc.Scenario.build () in
+  let engine = Tact_replica.System.engine sys in
+  let steps = ref [] in
+  let nsteps = ref 0 in
+  let diverged = ref 0 in
+  let strategy ~now choices =
+    let fp = Fingerprint.state sys ~now choices in
+    let idx =
+      match List.assoc_opt !nsteps deviations with
+      | None -> 0
+      | Some seq -> (
+        match find_seq choices seq with
+        | Some i -> i
+        | None ->
+          (* The prefix diverged (possible only when replaying a trace whose
+             deviations were edited); fall back to default order. *)
+          incr diverged;
+          0)
+    in
+    steps := { ready = choices; chosen = idx; fp } :: !steps;
+    incr nsteps;
+    idx
+  in
+  let execute () =
+    Engine.set_scheduler engine (Some strategy);
+    Tact_replica.System.run ~until:sc.Scenario.horizon sys;
+    (* Drain to quiescence under plain default order (index 0 under a chooser
+       is exactly (time, seq) order, and the chooser path handles the clock
+       for events left over from the choice phase whose times are already in
+       the past). *)
+    Engine.set_scheduler engine (Some (fun ~now:_ _ -> 0));
+    Tact_replica.System.run ~until:sc.Scenario.drain sys;
+    Engine.set_scheduler engine None
+  in
+  if sanitize then begin
+    let was = Tact_util.Sanitize.enabled () in
+    Tact_util.Sanitize.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> if not was then Tact_util.Sanitize.clear_forced ())
+      execute
+  end
+  else execute ();
+  let violations = Oracle.run sc sys in
+  let final_fp =
+    Fingerprint.state sys ~now:(Tact_replica.System.now sys) [||]
+  in
+  {
+    steps = Array.of_list (List.rev !steps);
+    sys;
+    violations;
+    final_fp;
+    diverged = !diverged;
+  }

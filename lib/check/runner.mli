@@ -1,0 +1,34 @@
+(** Execute one schedule of a scenario and judge it with the oracles.
+
+    A schedule is a {e deviation map} [(step, seq) list]: at step [step] of
+    the choice phase, fire the pending event with engine sequence number
+    [seq]; every unnamed step fires the default — earliest (time, seq) —
+    choice.  The empty list is the exact execution [dune runtest] sees.
+
+    The run has two phases: a choice-driven phase up to the scenario horizon
+    (each dispatch recorded as a {!step}), then a drain to the scenario's
+    [drain] time under default order so replicas quiesce before the oracles
+    inspect them. *)
+
+type step = {
+  ready : Tact_sim.Engine.choice array;
+      (** pending events at this step, sorted by (time, seq); index 0 is the
+          default choice *)
+  chosen : int;  (** index fired *)
+  fp : Fingerprint.t;  (** state fingerprint immediately before the dispatch *)
+}
+
+type result = {
+  steps : step array;  (** the choice-phase dispatches, in order *)
+  sys : Tact_replica.System.t;  (** the quiesced system, for inspection *)
+  violations : string list;  (** oracle verdict; empty = passed *)
+  final_fp : Fingerprint.t;  (** fingerprint of the quiesced state *)
+  diverged : int;
+      (** deviations naming a sequence number that was not pending — nonzero
+          only when replaying edited traces *)
+}
+
+val run : ?sanitize:bool -> Scenario.t -> deviations:(int * int) list -> result
+(** Build the scenario fresh and execute it under the given deviations.
+    [sanitize] (default false) turns on {!Tact_util.Sanitize} runtime
+    invariant auditing for the duration of the run. *)

@@ -6,7 +6,7 @@ let strong = { ne = 0.0; ne_rel = 0.0; oe = 0.0; st = 0.0 }
 let make ?(ne = infinity) ?(ne_rel = infinity) ?(oe = infinity) ?(st = infinity) () =
   { ne; ne_rel; oe; st }
 
-let is_strong b = b.ne = 0.0 && b.oe = 0.0
+let is_strong b = Float.equal b.ne 0.0 && Float.equal b.oe 0.0
 let is_weak b = b = weak
 
 let within ~ne ~ne_rel ~oe ~st b =
@@ -20,7 +20,8 @@ let tighten a b =
     st = Float.min a.st b.st;
   }
 
-let comp_to_string x = if x = infinity then "inf" else Printf.sprintf "%g" x
+let comp_to_string x =
+  if Float.equal x infinity then "inf" else Printf.sprintf "%g" x
 
 let to_string b =
   Printf.sprintf "(ne=%s ne_rel=%s oe=%s st=%s)" (comp_to_string b.ne)

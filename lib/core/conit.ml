@@ -14,5 +14,7 @@ let declare ?(ne_bound = infinity) ?(ne_rel_bound = infinity) ?(oe_bound = infin
 let unconstrained name = declare name
 
 let is_unconstrained c =
-  c.ne_bound = infinity && c.ne_rel_bound = infinity && c.oe_bound = infinity
-  && c.st_bound = infinity
+  Float.equal c.ne_bound infinity
+  && Float.equal c.ne_rel_bound infinity
+  && Float.equal c.oe_bound infinity
+  && Float.equal c.st_bound infinity

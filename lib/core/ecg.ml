@@ -8,6 +8,16 @@ let actual_prefix ~all ~return_time ~stime ~observed =
        (fun w -> return_time w.Write.id < stime || observed w.Write.id)
        all)
 
+let is_prefix shorter longer =
+  let rec go s l =
+    match (s, l) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | ws :: s', wl :: l' ->
+      Write.compare_id ws.Write.id wl.Write.id = 0 && go s' l'
+  in
+  go shorter longer
+
 let externally_compatible ~order ~return_time =
   (* O(n^2) pairwise check — this is a test oracle, not protocol code. *)
   let arr = Array.of_list order in

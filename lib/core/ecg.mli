@@ -30,6 +30,12 @@ val actual_prefix :
     check a necessary condition that our protocols also achieve; see
     EXPERIMENTS.md §verification. *)
 
+val is_prefix :
+  Tact_store.Write.t list -> Tact_store.Write.t list -> bool
+(** [is_prefix shorter longer]: is the first write sequence an id-for-id
+    prefix of the second?  The committed-prefix oracle uses this pairwise
+    across replicas (1SR: all committed orders agree up to length). *)
+
 val externally_compatible :
   order:Tact_store.Write.t list -> return_time:(Tact_store.Write.id -> float) -> bool
 (** Does the given serial order respect external order among writes?  (If

@@ -9,7 +9,9 @@ let numerical_error ~actual ~observed conit =
 let relative_error ~actual ~observed conit =
   let av = value actual conit in
   let err = Float.abs (av -. value observed conit) in
-  if err = 0.0 then 0.0 else if av = 0.0 then infinity else err /. Float.abs av
+  if Float.equal err 0.0 then 0.0
+  else if Float.equal av 0.0 then infinity
+  else err /. Float.abs av
 
 let projection history conit = List.filter (fun w -> Write.affects_conit w conit) history
 

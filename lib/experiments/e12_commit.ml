@@ -13,8 +13,6 @@ type row = {
   messages : int;
 }
 
-let progress_series = ref []
-
 let run_scheme ~scheme ~label ~duration =
   let n = 4 in
   let part_start = duration /. 3.0 and part_end = 2.0 *. duration /. 3.0 in
@@ -50,31 +48,34 @@ let run_scheme ~scheme ~label ~duration =
       committed_during := Wlog.committed_count (Replica.log (System.replica sys 0)));
   Engine.schedule engine ~delay:part_end (fun () -> Net.heal (System.net sys));
   System.run ~until:(duration +. 120.0) sys;
-  progress_series :=
-    !progress_series
-    @ [ (label, Monitor.series monitor ~f:(fun s -> float_of_int s.Monitor.committed.(0))) ];
+  let series =
+    (label, Monitor.series monitor ~f:(fun s -> float_of_int s.Monitor.committed.(0)))
+  in
   let log0 = Replica.log (System.replica sys 0) in
   let return_time = System.return_time sys in
-  {
-    scheme = label;
-    committed_during_partition = !committed_during;
-    committed_total = Wlog.committed_count log0;
-    committed_at_end = Wlog.committed_count log0;
-    writes = !writes;
-    ext_compatible =
-      Tact_core.Ecg.externally_compatible ~order:(Wlog.committed log0) ~return_time;
-    messages = (System.traffic sys).Net.messages;
-  }
+  ( {
+      scheme = label;
+      committed_during_partition = !committed_during;
+      committed_total = Wlog.committed_count log0;
+      committed_at_end = Wlog.committed_count log0;
+      writes = !writes;
+      ext_compatible =
+        Tact_core.Ecg.externally_compatible ~order:(Wlog.committed log0)
+          ~return_time;
+      messages = (System.traffic sys).Net.messages;
+    },
+    series )
 
 let run ?(quick = false) () =
-  progress_series := [];
   let duration = if quick then 18.0 else 60.0 in
-  let rows =
+  let results =
     [
       run_scheme ~scheme:Config.Stability ~label:"stability (timestamp)" ~duration;
       run_scheme ~scheme:(Config.Primary 0) ~label:"primary (CSN @ 0)" ~duration;
     ]
   in
+  let rows = List.map fst results in
+  let progress_series = List.map snd results in
   let tbl =
     Table.create
       ~title:
@@ -94,7 +95,7 @@ let run ?(quick = false) () =
     rows;
   Table.render tbl
   ^ Plot.series ~title:"commit progress at replica 0 over time (partition in the middle third)"
-      !progress_series
+      progress_series
   ^ "expected: stability stalls commitment during the partition (it needs \
      covers from every origin) but yields the external-order-compatible \
      canonical order; the primary scheme keeps committing among the \

@@ -8,7 +8,7 @@ let proportional_share ~bound ~n ~self ~receiver rates =
 
 let share policy ~bound ~n ~self ~receiver ~rates =
   assert (n > 1 && self <> receiver);
-  if bound = infinity then infinity
+  if Float.equal bound infinity then infinity
   else
     match policy with
     | Even -> bound /. float_of_int (n - 1)

@@ -10,6 +10,7 @@ type t = {
   initial_db : (string * Tact_store.Value.t) list;
   trace : Tact_util.Trace.t option;
   gossip_plan : (int -> int array) option;
+  fault_oe_slack : float;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     initial_db = [];
     trace = None;
     gossip_plan = None;
+    fault_oe_slack = 0.0;
   }
 
 let conit t name =
@@ -88,6 +90,9 @@ let validate ~n t =
    dependency is inverted through a registration point: [Tact_analysis.Guard]
    installs itself here and {!System.create} calls through.  Unset, the hook
    is free. *)
+(* lint: allow module-state -- intentional dependency-inversion point, set
+   once at startup by Tact_analysis.Guard and never per-run, so replayed
+   executions all observe the same hook *)
 let analyze_hook : (n:int -> t -> unit) option ref = ref None
 
 let set_analyze_hook h = analyze_hook := h

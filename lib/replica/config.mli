@@ -40,6 +40,11 @@ type t = {
           [None] means round-robin over every peer.  Topology-aware plans
           (e.g. mostly-LAN gossip with designated WAN bridges) cut wide-area
           traffic — experiment E21. *)
+  fault_oe_slack : float;
+      (** fault-injection knob for checker validation only: extra order-error
+          slack the accept path wrongly grants (a planted off-by-[slack] bug).
+          Must stay 0 in real configurations — the mutation tests set it to
+          prove [tact_check] catches the resulting bound violations. *)
 }
 
 val default : t

@@ -324,7 +324,7 @@ and declared_bounds t conit_name =
 and share_for t ~receiver conit_name =
   let ne_bound, ne_rel_bound, initial = declared_bounds t conit_name in
   let abs_bound =
-    if ne_rel_bound = infinity then ne_bound
+    if Float.equal ne_rel_bound infinity then ne_bound
     else begin
       (* Conservative value estimate: the committed value minus everything
          still in flight could be lower, but for the monotone workloads the
@@ -334,7 +334,7 @@ and share_for t ~receiver conit_name =
       Float.min ne_bound (ne_rel_bound *. v)
     end
   in
-  if abs_bound = infinity then infinity
+  if Float.equal abs_bound infinity then infinity
   else
     Budget.share t.cfg.Config.budget_policy ~bound:abs_bound ~n:t.n ~self:t.rid
       ~receiver ~rates:t.rates
@@ -382,7 +382,8 @@ and over_budget_peers t (w : Write.t) =
       let over =
         List.exists
           (fun { Write.conit; nweight; _ } ->
-            nweight <> 0.0 && outstanding_for t ~peer:j conit > share_for t ~receiver:j conit)
+            (not (Float.equal nweight 0.0))
+            && outstanding_for t ~peer:j conit > share_for t ~receiver:j conit)
           w.affects
       in
       if over then result := j :: !result
@@ -459,8 +460,11 @@ and deps_satisfied t p =
   require_ok
   &&
   let oe_ok =
+    (* [fault_oe_slack] is 0 in real configurations; the checker's mutation
+       tests raise it to plant an admission off-by-one here. *)
     List.for_all
-      (fun (c, (b : Bounds.t)) -> Wlog.tentative_oweight t.wlog c <= b.oe)
+      (fun (c, (b : Bounds.t)) ->
+        Wlog.tentative_oweight t.wlog c <= b.oe +. t.cfg.Config.fault_oe_slack)
       p.p_deps
   in
   (* A pull round completed after submission implies that every write
@@ -544,7 +548,7 @@ and serve_write t p op affects k =
   in
   (* A zero order-error dependency makes the write commit-synchronous. *)
   let wait_commit =
-    List.exists (fun (_, (b : Bounds.t)) -> b.oe = 0.0) p.p_deps
+    List.exists (fun (_, (b : Bounds.t)) -> Float.equal b.oe 0.0) p.p_deps
     && Wlog.final_outcome t.wlog w.id = None
   in
   let over = over_budget_peers t w in
@@ -736,7 +740,9 @@ and ensure_retry t =
         t.retry_running <- false
       else if not t.up then
         (* Stay armed; resume after recovery. *)
-        Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+        Engine.schedule t.engine
+          ~label:{ Engine.actor = t.rid; tag = "retry" }
+          ~delay:t.cfg.Config.retry_period tick
       else begin
         commit_progress t;
         Queue.iter (fun p -> if not p.p_done then trigger_syncs t p) t.pending;
@@ -753,10 +759,14 @@ and ensure_retry t =
               done)
           t.return_queue;
         pump t;
-        Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+        Engine.schedule t.engine
+          ~label:{ Engine.actor = t.rid; tag = "retry" }
+          ~delay:t.cfg.Config.retry_period tick
       end
     in
-    Engine.schedule t.engine ~delay:t.cfg.Config.retry_period tick
+    Engine.schedule t.engine
+      ~label:{ Engine.actor = t.rid; tag = "retry" }
+      ~delay:t.cfg.Config.retry_period tick
   end
 
 (* ------------------------------------------------------------------ *)
@@ -874,7 +884,9 @@ let admit t ?deadline p =
     match deadline with
     | None -> ()
     | Some d ->
-      Engine.schedule t.engine ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
+      Engine.schedule t.engine
+        ~label:{ Engine.actor = t.rid; tag = "deadline" }
+        ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
           if not p.p_done then begin
             p.p_done <- true;
             t.npending <- t.npending - 1;
@@ -973,7 +985,9 @@ let start t =
               let j = (t.rid + 1 + k) mod t.n in
               if j = t.rid then (j + 1) mod t.n else j)
       in
-      Engine.every t.engine ~period (fun () ->
+      Engine.every t.engine
+        ~label:{ Engine.actor = t.rid; tag = "gossip" }
+        ~period (fun () ->
           (* Deterministic ring gossip (silent while crashed). *)
           if t.up && Array.length ring > 0 then begin
             let target = ring.(!tick mod Array.length ring) in

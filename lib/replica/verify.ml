@@ -51,7 +51,9 @@ let access_metrics sys (a : Access.t) =
       let ov = initial +. Metrics.value observed c in
       let ne = Float.abs (av -. ov) in
       let ne_rel =
-        if ne = 0.0 then 0.0 else if av = 0.0 then infinity else ne /. Float.abs av
+        if Float.equal ne 0.0 then 0.0
+        else if Float.equal av 0.0 then infinity
+        else ne /. Float.abs av
       in
       {
         conit = c;

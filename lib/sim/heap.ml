@@ -68,3 +68,9 @@ let pop t =
   end
 
 let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    let e = t.data.(i) in
+    f ~time:e.time ~seq:e.seq e.value
+  done

@@ -14,3 +14,6 @@ val pop : 'a t -> (float * int * 'a) option
 (** Remove and return the minimum element, or [None] when empty. *)
 
 val peek_time : 'a t -> float option
+
+val iter : (time:float -> seq:int -> 'a -> unit) -> 'a t -> unit
+(** Visit every queued element in unspecified (heap-internal) order. *)

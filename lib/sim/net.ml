@@ -75,7 +75,9 @@ let send t ~src ~dst ~size deliver =
       | None -> base
       | Some (rng, frac) -> base +. Tact_util.Prng.float rng (frac *. base)
     in
-    Engine.schedule t.engine ~delay deliver
+    Engine.schedule t.engine
+      ~label:{ Engine.actor = dst; tag = "deliver" }
+      ~delay deliver
   end
 
 let partition t group_a group_b =

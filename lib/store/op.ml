@@ -10,6 +10,9 @@ type t =
 
 and proc = { name : string; size : int; body : Db.t -> outcome }
 
+(* lint: allow module-state -- write-once procedure table: applications
+   register procedures at startup, before any simulation runs, and replay
+   only reads it, so re-entrancy is preserved *)
 let registry : (string, Value.t -> Db.t -> outcome) Hashtbl.t = Hashtbl.create 16
 
 let register_proc name body = Hashtbl.replace registry name body

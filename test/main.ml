@@ -26,5 +26,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
       ("sanitize", Test_sanitize.suite);
+      ("check", Test_check.suite);
       ("smoke", Test_smoke.suite);
     ]

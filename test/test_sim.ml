@@ -141,7 +141,31 @@ let test_engine_max_events () =
     (try
        Engine.run ~max_events:100 e;
        false
-     with Failure _ -> true)
+     with Engine.Runaway n -> n = 100);
+  (* The guard fires before dispatch, so the offending event is still queued
+     and the run can resume under a fresh budget. *)
+  Alcotest.(check int) "raised before dispatch" 100 (Engine.events_executed e);
+  Alcotest.(check bool) "resumable" true
+    (try
+       Engine.run ~max_events:150 e;
+       false
+     with Engine.Runaway n -> n = 150)
+
+let test_engine_every_negative_jitter () =
+  (* Regression: a jitter draw more negative than the period used to produce
+     a net-negative delay and trip the Engine.schedule guard.  Now the delay
+     clamps at zero, so the loop keeps ticking at time 0. *)
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every e ~period:1.0
+    ~jitter:(fun () -> -5.0)
+    (fun () ->
+      incr ticks;
+      !ticks < 3);
+  Engine.run e;
+  Alcotest.(check int) "three ticks despite negative jitter" 3 !ticks;
+  Alcotest.(check bool) "clamped delays keep clock at zero" true
+    (feq (Engine.now e) 0.0)
 
 (* --- topology ------------------------------------------------------- *)
 
@@ -239,6 +263,8 @@ let base_suite =
     Alcotest.test_case "engine negative delay" `Quick test_engine_negative_delay_rejected;
     Alcotest.test_case "engine every" `Quick test_engine_every;
     Alcotest.test_case "engine runaway guard" `Quick test_engine_max_events;
+    Alcotest.test_case "engine every negative jitter" `Quick
+      test_engine_every_negative_jitter;
     Alcotest.test_case "topology uniform" `Quick test_topology_uniform;
     Alcotest.test_case "topology clustered" `Quick test_topology_clustered;
     Alcotest.test_case "topology star" `Quick test_topology_star;
