@@ -7,21 +7,24 @@
 
    Part 3 runs the scaling kernels: wall-clock measurements of the hot paths
    (write-log accept/commit, out-of-order insert storms, end-to-end served
-   accesses) at sizes where asymptotic costs dominate.  [--json] runs only
-   those and writes a machine-readable trajectory file (BENCH_PR1.json) used
-   to track the perf of these paths across PRs.
+   accesses, anti-entropy delta extraction, parallel schedule exploration)
+   at sizes where asymptotic costs dominate.  [--json] runs only those and
+   writes a machine-readable trajectory file (BENCH_PR4.json) used to track
+   the perf of these paths across PRs.
 
    Usage:
      dune exec bench/main.exe                 # quick experiments + micro
      dune exec bench/main.exe -- --full       # full-length experiments
      dune exec bench/main.exe -- --no-micro   # skip Bechamel
      dune exec bench/main.exe -- E3 E12       # a subset, by id or name
-     dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR1.json
-     dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard) *)
+     dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR4.json
+     dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard)
+     dune exec bench/main.exe -- -j 4         # run experiments/kernels on a
+                                              # 4-domain pool *)
 
 open Tact_experiments
 
-let run_experiments ~quick ~only =
+let run_experiments ~quick ~jobs ~only =
   let selected =
     match only with
     | [] -> Registry.all
@@ -36,16 +39,34 @@ let run_experiments ~quick ~only =
             None)
         keys
   in
+  let reports =
+    if jobs <= 1 then
+      List.map
+        (fun (e : Registry.entry) ->
+          let t0 = Unix.gettimeofday () in
+          let report = e.run ~quick () in
+          (e, report, Unix.gettimeofday () -. t0))
+        selected
+    else
+      (* Experiments are independent simulations; their reports are the same
+         at any job count, so run them on a pool and print in order after. *)
+      Tact_util.Pool.with_pool ~jobs (fun pool ->
+          Tact_util.Pool.map_list pool
+            (fun (e : Registry.entry) ->
+              let t0 = Unix.gettimeofday () in
+              let report = e.run ~quick () in
+              (e, report, Unix.gettimeofday () -. t0))
+            selected)
+  in
   List.iter
-    (fun (e : Registry.entry) ->
+    (fun ((e : Registry.entry), report, dt) ->
       Printf.printf "\n%s\n" (String.make 78 '=');
       Printf.printf "%s [%s] — %s\n" e.id e.name e.paper_artifact;
       Printf.printf "%s\n" (String.make 78 '=');
-      let t0 = Sys.time () in
-      print_string (e.run ~quick ());
-      Printf.printf "(%s ran in %.1fs cpu)\n" e.id (Sys.time () -. t0);
+      print_string report;
+      Printf.printf "(%s ran in %.1fs)\n" e.id dt;
       flush stdout)
-    selected
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernels underneath the experiments *)
@@ -59,12 +80,11 @@ let wlog_kernel ~writes () =
   for seq = 1 to writes do
     ignore
       (Wlog.accept log
-         {
-           Write.id = { origin = 0; seq };
-           accept_time = float_of_int seq;
-           op = Op.Add ("x", 1.0);
-           affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
-         })
+         (Write.make
+            ~id:{ origin = 0; seq }
+            ~accept_time:(float_of_int seq)
+            ~op:(Op.Add ("x", 1.0))
+            ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]))
   done;
   ignore (Wlog.commit_stable log ~cover:[| infinity; infinity |])
 
@@ -72,12 +92,11 @@ let metrics_kernel ~writes () =
   let open Tact_store in
   let ws =
     List.init writes (fun i ->
-        {
-          Write.id = { origin = i mod 3; seq = (i / 3) + 1 };
-          accept_time = float_of_int i;
-          op = Op.Noop;
-          affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
-        })
+        Write.make
+          ~id:{ origin = i mod 3; seq = (i / 3) + 1 }
+          ~accept_time:(float_of_int i)
+          ~op:Op.Noop
+          ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ])
   in
   ignore (Tact_core.Metrics.order_error_lcp ~ecg:ws ~local:ws "c");
   ignore (Tact_core.Metrics.value ws "c")
@@ -175,12 +194,9 @@ let run_micro () =
 open Tact_store
 
 let bench_write ~origin ~seq ~t =
-  {
-    Write.id = { origin; seq };
-    accept_time = t;
-    op = Op.Add ("x", 1.0);
-    affects = [ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ];
-  }
+  Write.make ~id:{ origin; seq } ~accept_time:t
+    ~op:(Op.Add ("x", 1.0))
+    ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
 
 (* Accept [writes] local writes, then commit them through the primary-CSN
    path in timestamp order, [batch] ids at a time — the shape of a replica
@@ -260,6 +276,107 @@ let kernel_serve ~accesses () =
   assert (!served = accesses);
   assert (System.converged sys)
 
+(* Anti-entropy delta extraction: one sender's write log holding [writes]
+   writes spread over [replicas] origins with interleaved timestamps, queried
+   for the deltas owed to peers at several lags.  Runs the k-way-merge
+   [Wlog.writes_since] against a faithful re-creation of the seed algorithm
+   (per-(origin,seq) Hashtbl probe + List.sort) over the same data, asserting
+   identical output, and reports both timings. *)
+type ws_result = {
+  ws_writes : int;
+  ws_replicas : int;
+  ws_reps : int;
+  ws_reference_s : float;
+  ws_merge_s : float;
+}
+
+let kernel_writes_since ~writes ~replicas ~reps () =
+  let log = Wlog.create ~replicas ~initial:[] in
+  for i = 0 to writes - 1 do
+    let origin = i mod replicas and seq = (i / replicas) + 1 in
+    ignore (Wlog.insert log (bench_write ~origin ~seq ~t:(float_of_int i)))
+  done;
+  let zero = Version_vector.create replicas in
+  let full = Wlog.writes_since log zero in
+  let by_id = Hashtbl.create (2 * writes) in
+  List.iter (fun (w : Write.t) -> Hashtbl.replace by_id w.id w) full;
+  let vec = Wlog.vector log in
+  let reference have =
+    let out = ref [] in
+    for origin = 0 to replicas - 1 do
+      for
+        seq = Version_vector.get have origin + 1 to Version_vector.get vec origin
+      do
+        match Hashtbl.find_opt by_id { Write.origin; seq } with
+        | Some w -> out := w :: !out
+        | None -> assert false
+      done
+    done;
+    List.sort Write.ts_compare !out
+  in
+  (* Peers at full, half and 10% lag — the shapes anti-entropy actually
+     serves: initial sync, a stale peer, steady-state gossip. *)
+  let lagged frac =
+    let v = Version_vector.create replicas in
+    for o = 0 to replicas - 1 do
+      let n = Version_vector.get vec o in
+      Version_vector.set v o (n - int_of_float (frac *. float_of_int n))
+    done;
+    v
+  in
+  let haves = [ zero; lagged 0.5; lagged 0.1 ] in
+  List.iter
+    (fun have ->
+      let a = Wlog.writes_since log have and b = reference have in
+      assert (List.length a = List.length b);
+      List.iter2 (fun (x : Write.t) (y : Write.t) -> assert (x.id = y.id)) a b)
+    haves;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter (fun have -> ignore (f have)) haves
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let ws_reference_s = time reference in
+  let ws_merge_s = time (Wlog.writes_since log) in
+  { ws_writes = writes; ws_replicas = replicas; ws_reps = reps; ws_reference_s;
+    ws_merge_s }
+
+(* Parallel schedule exploration: the checker's weak-converge scenario with
+   reductions off (every interleaving executes), explored at each job count.
+   The verdict and statistics are identical at any job count — only the wall
+   clock may differ, and only on a multicore host. *)
+type ps_result = { ps_jobs : int; ps_seconds : float; ps_schedules : int }
+
+let pool_scaling ~jobs_list ~preemptions ~max_schedules () =
+  let sc =
+    match Tact_check.Scenario.find "weak-converge" with
+    | Some s -> s
+    | None -> assert false
+  in
+  let options =
+    { Tact_check.Explorer.default_options with
+      preemptions; dedup = false; prune = false; max_schedules }
+  in
+  let results =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let o = Tact_check.Explorer.explore ~options ~jobs sc in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match o.counterexample with
+        | None -> ()
+        | Some _ -> assert false);
+        { ps_jobs = jobs; ps_seconds = dt; ps_schedules = o.stats.schedules })
+      jobs_list
+  in
+  (match results with
+  | r0 :: rest ->
+    List.iter (fun r -> assert (r.ps_schedules = r0.ps_schedules)) rest
+  | [] -> ());
+  results
+
 type kernel_result = {
   kr_name : string;
   kr_param : int;
@@ -279,35 +396,55 @@ let seed_baseline =
     (("replica_serve", 10_000), 3.710860);
   ]
 
-let time_kernel ~name ~param f =
-  let t0 = Sys.time () in
+let time_kernel (name, param, f) =
+  let t0 = Unix.gettimeofday () in
   f ();
-  let dt = Sys.time () -. t0 in
-  let seed =
-    List.assoc_opt (name, param) seed_baseline
-  in
-  Printf.printf "%-28s n=%-7d %10.3f s%s\n%!" name param dt
-    (match seed with
-    | Some s -> Printf.sprintf "   (seed: %.3f s, %.1fx)" s (s /. Float.max dt 1e-9)
-    | None -> "");
-  { kr_name = name; kr_param = param; kr_seconds = dt; kr_seed_seconds = seed }
+  let dt = Unix.gettimeofday () -. t0 in
+  { kr_name = name; kr_param = param; kr_seconds = dt;
+    kr_seed_seconds = List.assoc_opt (name, param) seed_baseline }
 
-let scaling_kernels () =
+let print_kernel r =
+  Printf.printf "%-28s n=%-7d %10.3f s%s\n%!" r.kr_name r.kr_param r.kr_seconds
+    (match r.kr_seed_seconds with
+    | Some s ->
+      Printf.sprintf "   (seed: %.3f s, %.1fx)" s
+        (s /. Float.max r.kr_seconds 1e-9)
+    | None -> "")
+
+let scaling_kernel_specs =
   [
-    time_kernel ~name:"wlog_accept_commit" ~param:10_000
-      (kernel_accept_commit ~writes:10_000);
-    time_kernel ~name:"wlog_accept_commit" ~param:30_000
-      (kernel_accept_commit ~writes:30_000);
-    time_kernel ~name:"wlog_insert_storm" ~param:10_000
-      (kernel_insert_storm ~writes:10_000);
-    time_kernel ~name:"wlog_insert_storm" ~param:30_000
-      (kernel_insert_storm ~writes:30_000);
-    time_kernel ~name:"replica_serve" ~param:10_000 (kernel_serve ~accesses:10_000);
+    ("wlog_accept_commit", 10_000, fun () -> kernel_accept_commit ~writes:10_000 ());
+    ("wlog_accept_commit", 30_000, fun () -> kernel_accept_commit ~writes:30_000 ());
+    ("wlog_insert_storm", 10_000, fun () -> kernel_insert_storm ~writes:10_000 ());
+    ("wlog_insert_storm", 30_000, fun () -> kernel_insert_storm ~writes:30_000 ());
+    ("replica_serve", 10_000, fun () -> kernel_serve ~accesses:10_000 ());
   ]
 
-let json_of_results results =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"kernels\": [\n";
+(* With [jobs > 1] the kernels themselves run concurrently on a pool (each
+   still times itself with its own wall clock); printing happens after
+   collection so lines never interleave. *)
+let scaling_kernels ~jobs () =
+  if jobs <= 1 then
+    List.map
+      (fun spec ->
+        let r = time_kernel spec in
+        print_kernel r;
+        r)
+      scaling_kernel_specs
+  else begin
+    let results =
+      Tact_util.Pool.with_pool ~jobs (fun pool ->
+          Tact_util.Pool.map_list pool time_kernel scaling_kernel_specs)
+    in
+    List.iter print_kernel results;
+    results
+  end
+
+let json_report ~cores ~jobs ~kernels ~ws ~ps =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"cores\": %d,\n  \"jobs\": %d,\n  \"kernels\": [\n"
+       cores jobs);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -323,28 +460,76 @@ let json_of_results results =
              (s /. Float.max r.kr_seconds 1e-9))
       | None -> ());
       Buffer.add_string buf "}")
-    results;
+    kernels;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"writes_since\": {\"writes\": %d, \"replicas\": %d, \"reps\": %d, \
+        \"reference_seconds\": %.6f, \"merge_seconds\": %.6f, \
+        \"speedup_vs_reference\": %.2f},\n"
+       ws.ws_writes ws.ws_replicas ws.ws_reps ws.ws_reference_s ws.ws_merge_s
+       (ws.ws_reference_s /. Float.max ws.ws_merge_s 1e-9));
+  Buffer.add_string buf "  \"pool_scaling\": [\n";
+  let base =
+    match ps with r :: _ -> r.ps_seconds | [] -> 0.0
+  in
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"seconds\": %.6f, \"schedules\": %d, \
+            \"speedup_vs_jobs1\": %.2f}"
+           r.ps_jobs r.ps_seconds r.ps_schedules
+           (base /. Float.max r.ps_seconds 1e-9)))
+    ps;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-let run_json ~path =
+let run_json ~path ~jobs =
   Printf.printf "Scaling kernels (wall clock)\n%s\n" (String.make 78 '-');
-  let results = scaling_kernels () in
+  let kernels = scaling_kernels ~jobs () in
+  let ws = kernel_writes_since ~writes:30_000 ~replicas:16 ~reps:10 () in
+  Printf.printf "%-28s n=%-7d %10.3f s   (seed algorithm: %.3f s, %.1fx)\n%!"
+    "wlog_writes_since" ws.ws_writes ws.ws_merge_s ws.ws_reference_s
+    (ws.ws_reference_s /. Float.max ws.ws_merge_s 1e-9);
+  let ps = pool_scaling ~jobs_list:[ 1; 2; 4 ] ~preemptions:3 ~max_schedules:0 () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s jobs=%-4d %10.3f s   (%d schedules)\n%!"
+        "explorer_pool_scaling" r.ps_jobs r.ps_seconds r.ps_schedules)
+    ps;
+  let cores = Domain.recommended_domain_count () in
   let oc = open_out path in
-  output_string oc (json_of_results results);
+  output_string oc (json_report ~cores ~jobs ~kernels ~ws ~ps);
   close_out oc;
-  Printf.printf "wrote %s\n" path
+  Printf.printf "wrote %s (cores=%d)\n" path cores
 
 (* Tiny instances of every scaling kernel: a fast CI guard (wired into
-   @bench-smoke / runtest) so the benchmark harness cannot bit-rot. *)
-let run_smoke () =
+   @bench-smoke / runtest) so the benchmark harness cannot bit-rot.  [-j N]
+   additionally exercises the pooled paths. *)
+let run_smoke ~jobs =
   kernel_accept_commit ~writes:256 ~batch:16 ();
   kernel_insert_storm ~writes:512 ~lag:16 ();
   kernel_serve ~accesses:100 ();
+  ignore (kernel_writes_since ~writes:2_048 ~replicas:4 ~reps:1 ());
+  ignore
+    (pool_scaling
+       ~jobs_list:[ 1; max 1 jobs ]
+       ~preemptions:1 ~max_schedules:50 ());
   print_endline "bench smoke ok"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let jobs = ref 1 in
+  let rec strip_jobs = function
+    | ("-j" | "--jobs") :: v :: rest ->
+      jobs := int_of_string v;
+      strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+    | [] -> []
+  in
+  let args = strip_jobs args in
   let full = List.mem "--full" args in
   let no_micro = List.mem "--no-micro" args in
   let json = List.mem "--json" args in
@@ -357,14 +542,14 @@ let () =
           ignore i;
           String.sub a 6 (String.length a - 6)
         | _ -> acc)
-      "BENCH_PR1.json" args
+      "BENCH_PR4.json" args
   in
   let only =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
-  if smoke then run_smoke ()
-  else if json then run_json ~path:out
+  if smoke then run_smoke ~jobs:!jobs
+  else if json then run_json ~path:out ~jobs:!jobs
   else begin
-    run_experiments ~quick:(not full) ~only;
+    run_experiments ~quick:(not full) ~jobs:!jobs ~only;
     if not no_micro then run_micro ()
   end

@@ -42,15 +42,25 @@ let exp_cmd =
 
 (* --- all ----------------------------------------------------------- *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Run experiments on $(docv) worker domains. Each experiment is an \
+           independent deterministic simulation, so the simulated results \
+           are identical at any job count." ~docv:"JOBS")
+
 let all_cmd =
-  let run full =
+  let run full jobs =
     List.iter
-      (fun (e : Tact_experiments.Registry.entry) ->
+      (fun ((e : Tact_experiments.Registry.entry), report) ->
         Printf.printf "\n=== %s [%s] — %s ===\n" e.id e.name e.paper_artifact;
-        print_string (e.run ~quick:(not full) ()))
-      Tact_experiments.Registry.all
+        print_string report)
+      (Tact_experiments.Registry.run_all ~jobs ~quick:(not full) ())
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ full_flag)
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ full_flag $ jobs_arg)
 
 (* --- sample applications ------------------------------------------- *)
 

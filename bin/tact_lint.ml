@@ -4,14 +4,19 @@
    forbids on its deterministic paths: polymorphic comparison, unspecified
    Hashtbl iteration order, naked [failwith], wall-clock reads, global Random
    state, [Obj.magic], exact float (in)equality on the metrics/bounds paths
-   (lib/core, lib/replica, lib/protocols, lib/check), and mutable
+   (lib/core, lib/replica, lib/protocols, lib/check), mutable
    module-level state outside lib/util (the interleaving checker replays
-   runs in-process, so modules must be re-entrant).  Comments and string
-   literals are stripped before matching, so prose never trips a rule.
+   runs in-process, so modules must be re-entrant), and raw domain
+   primitives (Domain/Mutex/Condition/Atomic) outside the lib/util
+   concurrency layer.  Comments and string literals are stripped before
+   matching, so prose never trips a rule.
 
    A finding is suppressed by a [(* lint: allow <rule> -- why *)] comment on
-   the same line or the line directly above it.  Exit status 1 when any
-   finding survives.  Usage: [tact_lint [DIR ...]] (default: [lib]). *)
+   the same line or the line directly above it, or for a whole file by
+   [(* lint: allow-file <rule> -- why *)] (used by lib/util/pool.ml and
+   sync.ml, which are the sanctioned home of the domain primitives).  Exit
+   status 1 when any finding survives.  Usage: [tact_lint [DIR ...]]
+   (default: [lib]). *)
 
 type rule = { rule_name : string; explain : string }
 
@@ -48,6 +53,11 @@ let rules =
         "mutable module-level state breaks re-entrancy; the checker replays \
          runs in-process, so scope it inside a value or annotate why it is \
          safe" };
+    { rule_name = "domain-safety";
+      explain =
+        "raw Domain/Mutex/Condition/Atomic use belongs in lib/util (Pool, \
+         Sync); route concurrency through those wrappers so locking \
+         discipline lives in one place" };
   ]
 
 type finding = { file : string; line : int; frule : rule; snippet : string }
@@ -184,9 +194,22 @@ let strip src =
 
 (* [(* lint: allow rule-a, rule-b -- rationale *)] suppresses those rules on
    the comment's lines and the line after it ends, so a multi-line rationale
-   still covers the annotated code. *)
+   still covers the annotated code.  [(* lint: allow-file rule -- why *)]
+   suppresses the rules for the whole file — for the rare module that is
+   itself the sanctioned home of a pattern (e.g. [domain-safety] in the
+   lib/util concurrency layer). *)
+let mentions spec rule_name =
+  let rlen = String.length rule_name in
+  let found = ref false in
+  (* substring match is enough: rule names never overlap *)
+  for k = 0 to String.length spec - rlen do
+    if String.sub spec k rlen = rule_name then found := true
+  done;
+  !found
+
 let allowances comments =
   let tbl = Hashtbl.create 8 in
+  let file_wide = Hashtbl.create 4 in
   List.iter
     (fun (cline, text) ->
       match String.index_opt text ':' with
@@ -195,17 +218,18 @@ let allowances comments =
         let rest = String.sub text (colon + 1) (String.length text - colon - 1) in
         let rest = String.trim rest in
         match String.index_opt rest ' ' with
+        | Some sp when String.sub rest 0 sp = "allow-file" ->
+          let spec = String.sub rest sp (String.length rest - sp) in
+          List.iter
+            (fun { rule_name; _ } ->
+              if mentions spec rule_name then
+                Hashtbl.replace file_wide rule_name ())
+            rules
         | Some sp when String.sub rest 0 sp = "allow" ->
           let spec = String.sub rest sp (String.length rest - sp) in
           List.iter
             (fun { rule_name; _ } ->
-              (* substring match is enough: rule names never overlap *)
-              let rlen = String.length rule_name in
-              let found = ref false in
-              for k = 0 to String.length spec - rlen do
-                if String.sub spec k rlen = rule_name then found := true
-              done;
-              if !found then begin
+              if mentions spec rule_name then begin
                 let last = ref cline in
                 String.iter (fun c -> if c = '\n' then incr last) text;
                 for l = cline to !last + 1 do
@@ -216,7 +240,7 @@ let allowances comments =
         | _ -> ())
       | _ -> ())
     comments;
-  tbl
+  (tbl, file_wide)
 
 (* --- matching ---------------------------------------------------------- *)
 
@@ -456,6 +480,21 @@ let check_line ~floats ~modstate line =
     || has_token ~qualified:true line "Unix.gettimeofday"
   then add "wall-clock";
   if has_token ~qualified:true line "Obj.magic" then add "obj-magic";
+  (* Qualified uses of the domain-parallelism modules ([Domain.spawn],
+     [Mutex.lock], [Condition.wait], [Atomic.make], ...).  Matching on the
+     module path catches every entry point without enumerating them. *)
+  (let hit = ref false in
+   List.iter
+     (fun w ->
+       let n = String.length line and wl = String.length w in
+       for k = 0 to n - wl do
+         if
+           String.sub line k wl = w
+           && (k = 0 || (line.[k - 1] <> '.' && not (is_ident_char line.[k - 1])))
+         then hit := true
+       done)
+     [ "Domain."; "Mutex."; "Condition."; "Atomic." ];
+   if !hit then add "domain-safety");
   (* Global Random calls; the seeded Random.State API is fine. *)
   (let n = String.length line and w = "Random." in
    for k = 0 to n - String.length w - 1 do
@@ -474,7 +513,7 @@ let lint_file findings path =
   let src = really_input_string ic len in
   close_in ic;
   let stripped, comments = strip src in
-  let allowed = allowances comments in
+  let allowed, file_allowed = allowances comments in
   let lines = String.split_on_char '\n' stripped in
   (* Path scoping: float equality is policed on the metrics/bounds
      arithmetic paths; module-level state everywhere except lib/util
@@ -490,7 +529,11 @@ let lint_file findings path =
       let lno = idx + 1 in
       List.iter
         (fun r ->
-          if not (Hashtbl.mem allowed (lno, r.rule_name)) then
+          if
+            not
+              (Hashtbl.mem file_allowed r.rule_name
+              || Hashtbl.mem allowed (lno, r.rule_name))
+          then
             findings :=
               { file = path; line = lno; frule = r; snippet = String.trim line }
               :: !findings)

@@ -23,7 +23,16 @@
     violation, because oracles only judge schedules that actually executed.
 
     On the first violating schedule the explorer minimizes the deviation map
-    and returns a replayable counterexample. *)
+    and returns a replayable counterexample.
+
+    With [jobs > 1] the schedule space is explored by a domain pool in two
+    phases: an optimistic parallel sweep memoizes a summary of every
+    execution it performs (sharing the dedup set and violation cutoff
+    behind sharded locks), then the sequential walk above replays over the
+    memo table, re-executing any schedule the sweep missed.  Because the
+    walk itself is the same algorithm either way, the verdict, statistics
+    and minimized counterexample are bit-identical to [jobs:1]; dedup races
+    only shift work between the sweep and the replay. *)
 
 type options = {
   depth : int;  (** branch only at steps < depth *)
@@ -57,4 +66,6 @@ type outcome = {
       (** minimized first violation, if any *)
 }
 
-val explore : ?options:options -> Scenario.t -> outcome
+val explore : ?options:options -> ?jobs:int -> Scenario.t -> outcome
+(** [jobs] defaults to 1 (fully sequential); [jobs > 1] runs the parallel
+    sweep + sequential replay described above. *)

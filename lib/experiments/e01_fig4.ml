@@ -14,12 +14,8 @@ type outcome = {
 let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
 
 let mk ~origin ~seq ~t affects =
-  {
-    Write.id = { origin; seq };
-    accept_time = t;
-    op = Op.Noop;
-    affects = List.map unit_w affects;
-  }
+  Write.make ~id:{ origin; seq } ~accept_time:t ~op:Op.Noop
+    ~affects:(List.map unit_w affects)
 
 (* The reconstructed instance (see the .mli):
      W1{F1,F2}  W2{F3}  W3{F1}  W4{F2}  W5{F1}   at times 1..5

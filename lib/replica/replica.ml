@@ -528,7 +528,7 @@ and serve_read t p f k =
 and serve_write t p op affects k =
   let seq = Version_vector.get (Wlog.vector t.wlog) t.rid + 1 in
   let w =
-    { Write.id = { origin = t.rid; seq }; accept_time = now t; op; affects }
+    Write.make ~id:{ origin = t.rid; seq } ~accept_time:(now t) ~op ~affects
   in
   let obs = capture_observation t in
   let pre_vector = Version_vector.copy (Wlog.vector t.wlog) in

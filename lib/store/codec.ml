@@ -164,7 +164,7 @@ let decode_write c =
         { Write.conit; nweight; oweight })
   in
   let op = decode_op c in
-  { Write.id = { origin; seq }; accept_time; op; affects }
+  Write.make ~id:{ origin; seq } ~accept_time ~op ~affects
 
 (* ------------------------------------------------------------------ *)
 (* Version vectors and snapshots *)
@@ -226,12 +226,7 @@ let decode_snapshot c =
    encoding.  Must mirror the encoders above exactly — checked by a test
    against [snapshot_to_string]. *)
 
-let rec value_byte_size (v : Value.t) =
-  match v with
-  | Value.Nil -> 1
-  | Value.Int _ | Value.Float _ -> 1 + 8
-  | Value.Str s -> 1 + 8 + String.length s
-  | Value.List l -> 1 + 8 + List.fold_left (fun acc x -> acc + value_byte_size x) 0 l
+let value_byte_size = Value.wire_size
 
 let snapshot_byte_size (s : Wlog.snapshot) =
   let vector = 8 * (1 + Version_vector.size s.snap_vector) in

@@ -45,6 +45,16 @@ let guarded ~name ?(size = 32) ~check ~apply ?(alt = fun _ -> "conflict") () =
         (fun db -> if check db then Applied (apply db) else Conflict (alt db));
     }
 
+(* Exact encoded size under Codec's wire format.  [Proc] never crosses the
+   wire (Codec raises Unserializable); its declared modelled size keeps
+   traffic accounting meaningful for closure-based simulations. *)
+let wire_size = function
+  | Noop -> 1
+  | Set (k, v) | Append (k, v) -> 1 + 8 + String.length k + Value.wire_size v
+  | Add (k, _) -> 1 + 8 + String.length k + 8
+  | Named (name, arg) -> 1 + 8 + String.length name + Value.wire_size arg
+  | Proc p -> p.size
+
 let byte_size = function
   | Noop -> 4
   | Set (k, v) -> 8 + String.length k + Value.byte_size v

@@ -55,6 +55,10 @@ val guarded :
 val byte_size : t -> int
 (** Estimated wire size of the operation. *)
 
+val wire_size : t -> int
+(** Exact encoded size under the {!Codec} wire format; [Proc] falls back to
+    its declared modelled size (closures are not serialisable). *)
+
 val describe : t -> string
 
 val conflicted : outcome -> bool

@@ -27,3 +27,7 @@ val to_string : t -> string
 
 val byte_size : t -> int
 (** Estimated wire size, used for network traffic accounting. *)
+
+val wire_size : t -> int
+(** Exact encoded size under the {!Codec} wire format — equals
+    [String.length] of the encoding without materialising it. *)

@@ -38,6 +38,14 @@ type t = {
   committed_vec : Version_vector.t;  (* writes in the committed prefix *)
   trunc_vec : Version_vector.t;  (* writes that may have been discarded *)
   by_id : (Write.id, Write.t) Hashtbl.t;
+  by_origin : Write.t Deque.t array;
+      (* by_origin.(o) = the writes of origin o still in the log, in seq
+         order.  Registration happens in per-origin seq order and removal
+         (truncation, snapshot installation) drops per-origin prefixes, so
+         the deque is always the contiguous seq range
+         [trunc_vec.(o)+1 .. vector.(o)] — which makes serving a version
+         vector a k-way merge over array slices instead of per-(origin,seq)
+         hash probes. *)
   committed_ids : (Write.id, unit) Hashtbl.t;
   pending : (Write.id, Write.t) Hashtbl.t; (* per-origin sequence gaps *)
   outcomes : (Write.id, Op.outcome) Hashtbl.t;
@@ -65,6 +73,7 @@ let create ~replicas ~initial =
     committed_vec = Version_vector.create replicas;
     trunc_vec = Version_vector.create replicas;
     by_id = Hashtbl.create 256;
+    by_origin = Array.init replicas (fun _ -> Deque.create ());
     committed_ids = Hashtbl.create 256;
     pending = Hashtbl.create 8;
     outcomes = Hashtbl.create 256;
@@ -150,6 +159,30 @@ let invariant_violations t =
     addf "known vector %s does not dominate committed vector %s"
       (Version_vector.to_string t.vector)
       (Version_vector.to_string t.committed_vec);
+  (* Per-origin index: exactly the contiguous seqs trunc+1..vector, in
+     order, and physically the same writes the id index serves — the
+     invariant the writes_since merge path relies on. *)
+  for o = 0 to t.nreplicas - 1 do
+    let base = Version_vector.get t.trunc_vec o in
+    let len = Deque.length t.by_origin.(o) in
+    if base + len <> Version_vector.get t.vector o then
+      addf "by_origin[%d] holds %d writes above base %d but the vector says %d"
+        o len base (Version_vector.get t.vector o);
+    for i = 0 to len - 1 do
+      let w = Deque.get t.by_origin.(o) i in
+      if w.Write.id.origin <> o || w.Write.id.seq <> base + i + 1 then
+        addf "by_origin[%d] slot %d holds %s, want w%d.%d" o i
+          (Write.id_to_string w.Write.id) o (base + i + 1)
+      else
+        match Hashtbl.find_opt t.by_id w.Write.id with
+        | Some w' when w' == w -> ()
+        | Some _ ->
+          addf "by_origin[%d] slot %d diverges from the id index" o i
+        | None ->
+          addf "by_origin[%d] slot %d (%s) missing from the id index" o i
+            (Write.id_to_string w.Write.id)
+    done
+  done;
   (* Weight accounting: the incremental conit-value and order-weight tallies
      must agree with a recount of the tentative suffix. *)
   let tent_n = Hashtbl.create 16 and tent_o = Hashtbl.create 16 in
@@ -217,6 +250,7 @@ let unsafe_swap_tentative t i j =
 (* Bookkeeping common to every successful insertion. *)
 let register t (w : Write.t) =
   Hashtbl.replace t.by_id w.id w;
+  Deque.push_back t.by_origin.(w.id.origin) w;
   Version_vector.set t.vector w.id.origin w.id.seq;
   List.iter
     (fun { Write.conit; nweight; oweight } ->
@@ -359,20 +393,127 @@ let insert_batch t ws =
 
 let vector t = t.vector
 
+(* Serve the delta beyond [v] by k-way-merging the per-origin slices: each
+   origin's missing writes are the tail of its (seq-ordered, hence
+   ts-ordered) index, so a [nreplicas]-way heap merge yields the result in
+   timestamp order directly — O(delta log k), no hashing, no sort. *)
 let writes_since t v =
-  let out = ref [] in
-  for origin = 0 to t.nreplicas - 1 do
-    for seq = Version_vector.get v origin + 1 to Version_vector.get t.vector origin do
-      match Hashtbl.find_opt t.by_id { Write.origin; seq } with
-      | Some w -> out := w :: !out
-      | None ->
+  let n = t.nreplicas in
+  let cursor = Array.make n 0 in
+  let stop = Array.make n 0 in
+  let total = ref 0 in
+  for origin = 0 to n - 1 do
+    let have = Version_vector.get v origin in
+    let upto = Version_vector.get t.vector origin in
+    if upto > have then begin
+      let base = Version_vector.get t.trunc_vec origin in
+      if have < base then begin
+        (* Error path only: name the first seq actually gone (under CSN
+           commits a lower-seq straggler may outlive the truncation that
+           overtook it), matching the probe order of the old implementation
+           byte for byte. *)
+        let seq = ref (have + 1) in
+        while Hashtbl.mem t.by_id { Write.origin; seq = !seq } do incr seq done;
         invalid_arg
           (Printf.sprintf
              "Wlog.writes_since: w%d.%d was truncated (check can_serve first)"
-             origin seq)
-    done
+             origin !seq)
+      end;
+      cursor.(origin) <- have - base;
+      stop.(origin) <- upto - base;
+      total := !total + (upto - have)
+    end
   done;
-  List.sort Write.ts_compare !out
+  if !total = 0 then []
+  else begin
+    (* Copy each live origin's pending slice into a contiguous array (one
+       pointer blit per origin), then k-way merge over the slices with a
+       binary min-heap keyed by each slice's cached head write; ts_compare
+       is a total order (ties break on origin and seq), so extraction order
+       is deterministic. *)
+    let slices = Array.make n [||] in
+    let nlive = ref 0 in
+    for o = 0 to n - 1 do
+      let len = stop.(o) - cursor.(o) in
+      if len > 0 then begin
+        slices.(!nlive) <- Deque.sub t.by_origin.(o) cursor.(o) len;
+        incr nlive
+      end
+    done;
+    let k = !nlive in
+    (* Merge in descending order from the slice tails with a max-heap, so
+       each extracted write conses straight onto the front of the result
+       list: ascending output, one cons per element, no rev and no
+       intermediate array. *)
+    let pos = Array.make k 0 in
+    let heap = Array.make k 0 in
+    let cur = Array.make k slices.(0).(0) in
+    (* Unboxed copy of each tail's accept_time: heap comparisons stay on a
+       flat float array instead of chasing into the write records (the
+       compare is by (accept_time, id), and times are never NaN). *)
+    let curk = Array.make k 0.0 in
+    for s = 0 to k - 1 do
+      let last = Array.length slices.(s) - 1 in
+      pos.(s) <- last;
+      cur.(s) <- slices.(s).(last);
+      curk.(s) <- slices.(s).(last).Write.accept_time
+    done;
+    let greater a b =
+      let ka = curk.(a) and kb = curk.(b) in
+      if ka > kb then true
+      else if ka < kb then false
+      else Write.compare_id cur.(a).Write.id cur.(b).Write.id > 0
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if greater heap.(i) heap.(p) then begin
+          let tmp = heap.(i) in
+          heap.(i) <- heap.(p);
+          heap.(p) <- tmp;
+          sift_up p
+        end
+      end
+    in
+    let hsize = ref k in
+    let rec sift_down i =
+      let l = (2 * i) + 1 in
+      if l < !hsize then begin
+        let m =
+          if l + 1 < !hsize && greater heap.(l + 1) heap.(l) then l + 1 else l
+        in
+        if greater heap.(m) heap.(i) then begin
+          let tmp = heap.(i) in
+          heap.(i) <- heap.(m);
+          heap.(m) <- tmp;
+          sift_down m
+        end
+      end
+    in
+    for s = 0 to k - 1 do
+      heap.(s) <- s;
+      sift_up s
+    done;
+    let outl = ref [] in
+    while !hsize > 0 do
+      let s = heap.(0) in
+      outl := cur.(s) :: !outl;
+      let p = pos.(s) - 1 in
+      pos.(s) <- p;
+      if p >= 0 then begin
+        let w = slices.(s).(p) in
+        cur.(s) <- w;
+        curk.(s) <- w.Write.accept_time;
+        sift_down 0
+      end
+      else begin
+        decr hsize;
+        heap.(0) <- heap.(!hsize);
+        if !hsize > 0 then sift_down 0
+      end
+    done;
+    !outl
+  end
 
 let db t = t.full_db
 let committed_db t = t.committed_db
@@ -509,8 +650,24 @@ let truncate t ~keep =
     for _ = 1 to drop do
       let w = Deque.pop_front t.committed in
       Hashtbl.remove t.by_id w.Write.id;
-      Version_vector.set t.trunc_vec w.id.origin
-        (max w.id.seq (Version_vector.get t.trunc_vec w.id.origin))
+      let o = w.id.origin in
+      Version_vector.set t.trunc_vec o
+        (max w.id.seq (Version_vector.get t.trunc_vec o));
+      (* Drop the origin's prefix the truncation vector now covers.  Under
+         CSN commits the truncated write need not be its origin's oldest
+         (commit order is the primary's, not seq order); lower-seq stragglers
+         it jumps over become unservable the moment trunc_vec passes them —
+         exactly as before, when they merely lingered in the id index — so
+         the per-origin index sheds them here to stay the contiguous range
+         (trunc_vec.(o), vector.(o)]. *)
+      let bo = t.by_origin.(o) in
+      while
+        (not (Deque.is_empty bo))
+        && (Deque.peek_front bo).Write.id.seq
+           <= Version_vector.get t.trunc_vec o
+      do
+        ignore (Deque.pop_front bo)
+      done
     done;
     sanitize ~ctx:"wlog.truncate" t;
     drop
@@ -576,6 +733,14 @@ let install_snapshot t snap =
     (* Rebuild the derived quantities: known vector, conit values, tentative
        oweights. *)
     Version_vector.merge_into t.vector snap.snap_vector;
+    (* The per-origin index now holds exactly the kept tentative writes:
+       everything at or below the snapshot vector was dropped above, and
+       the survivors are the contiguous seqs snap_vector.(o)+1 .. vector.(o)
+       (the tentative suffix's per-origin subsequence, in seq order). *)
+    Array.iter Deque.clear t.by_origin;
+    Deque.iter
+      (fun (w : Write.t) -> Deque.push_back t.by_origin.(w.id.origin) w)
+      t.tent;
     Hashtbl.reset t.tent_oweights;
     Hashtbl.reset t.values;
     (* lint: allow hashtbl-iter — table copy, order-independent *)

@@ -2,7 +2,19 @@ type id = { origin : int; seq : int }
 
 type weight = { conit : string; nweight : float; oweight : float }
 
-type t = { id : id; accept_time : float; op : Op.t; affects : weight list }
+type t = {
+  id : id;
+  accept_time : float;
+  op : Op.t;
+  affects : weight list;
+  mutable size_cache : int;
+      (* Exact wire size, computed lazily by [byte_size]; -1 = not yet
+         computed.  Writes are otherwise immutable, so concurrent domains can
+         at worst race to store the same value — a benign race. *)
+}
+
+let make ~id ~accept_time ~op ~affects =
+  { id; accept_time; op; affects; size_cache = -1 }
 
 let compare_id a b =
   match Int.compare a.origin b.origin with
@@ -32,9 +44,18 @@ let oweight w conit =
 let total_oweight w = List.fold_left (fun acc x -> acc +. x.oweight) 0.0 w.affects
 
 let byte_size w =
-  (* id + timestamp + per-weight entry overhead + op payload *)
-  24 + Op.byte_size w.op
-  + List.fold_left (fun acc x -> acc + 16 + String.length x.conit) 0 w.affects
+  if w.size_cache >= 0 then w.size_cache
+  else begin
+    (* Mirrors Codec.encode_write: origin + seq + accept_time + naffects
+       header (4 × 8 bytes), then per affect a length-prefixed conit name plus
+       two weight floats, then the op payload. *)
+    let size =
+      32 + Op.wire_size w.op
+      + List.fold_left (fun acc x -> acc + 24 + String.length x.conit) 0 w.affects
+    in
+    w.size_cache <- size;
+    size
+  end
 
 let to_string w =
   Printf.sprintf "%s@%.3f %s" (id_to_string w.id) w.accept_time (Op.describe w.op)

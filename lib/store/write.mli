@@ -10,7 +10,7 @@ type id = { origin : int; seq : int }
 
 type weight = { conit : string; nweight : float; oweight : float }
 
-type t = {
+type t = private {
   id : id;
   accept_time : float;
       (** wall-clock (simulated) time at which the originating replica
@@ -18,7 +18,10 @@ type t = {
           ECG order *)
   op : Op.t;
   affects : weight list;
+  mutable size_cache : int;  (** lazily-computed wire size; use {!byte_size} *)
 }
+
+val make : id:id -> accept_time:float -> op:Op.t -> affects:weight list -> t
 
 val compare_id : id -> id -> int
 val id_to_string : id -> string
@@ -40,4 +43,9 @@ val total_oweight : t -> float
     order serves every conit). *)
 
 val byte_size : t -> int
+(** Exact size of the write's {!Codec} encoding, without materialising it
+    ([Proc] ops fall back to their declared modelled size).  Memoized in the
+    write on first use, so traffic-accounting folds that visit the same write
+    many times pay the size computation once. *)
+
 val to_string : t -> string

@@ -30,6 +30,12 @@ val remove : 'a t -> int -> 'a
 (** Remove and return the element at logical index [i]. *)
 
 val clear : 'a t -> unit
+
+val sub : 'a t -> int -> int -> 'a array
+(** [sub t src len] is a fresh array of the [len] elements at logical
+    indices [src..src+len-1] — one [Array.sub], no per-element bounds
+    checks. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tact"
     [
       ("prng", Test_prng.suite);
+      ("pool", Test_pool.suite);
       ("stats-util", Test_stats.suite);
       ("sim", Test_sim.suite);
       ("store", Test_store.suite);

@@ -247,6 +247,53 @@ let test_mutation_found () =
       Alcotest.(check bool) "reloaded trace still reproduces" true
         v3.Counterexample.reproduced)
 
+let test_parallel_determinism () =
+  (* The headline PR-4 guarantee: jobs:4 must report the same verdict, the
+     same statistics, and a bit-identical minimized counterexample as
+     jobs:1 — on both a violating and a clean space. *)
+  let stats =
+    Alcotest.testable
+      (Fmt.of_to_string (fun (s : Explorer.stats) ->
+           Printf.sprintf
+             "{schedules=%d; deduped=%d; pruned=%d; max_steps=%d; diverged=%d; exhausted=%b}"
+             s.Explorer.schedules s.Explorer.deduped s.Explorer.pruned
+             s.Explorer.max_steps s.Explorer.diverged s.Explorer.exhausted))
+      ( = )
+  in
+  let sc = planted_scenario ~slack:1.0 in
+  let seq = Explorer.explore ~options:Explorer.default_options ~jobs:1 sc in
+  let par = Explorer.explore ~options:Explorer.default_options ~jobs:4 sc in
+  Alcotest.check stats "planted: identical statistics" seq.Explorer.stats
+    par.Explorer.stats;
+  (match (seq.Explorer.counterexample, par.Explorer.counterexample) with
+  | Some a, Some b ->
+    Alcotest.(check (list (pair int int)))
+      "identical minimized deviation map" a.Counterexample.deviations
+      b.Counterexample.deviations;
+    Alcotest.(check (list string))
+      "identical violations" a.Counterexample.violations
+      b.Counterexample.violations;
+    Alcotest.(check bool) "identical final fingerprint" true
+      (Fingerprint.equal a.Counterexample.final_fp b.Counterexample.final_fp);
+    Alcotest.(check int) "identical step count" a.Counterexample.steps
+      b.Counterexample.steps;
+    (* Byte-identical, literally: the serialized traces match. *)
+    Alcotest.(check string) "identical serialized trace"
+      (Json.to_string (Counterexample.to_json a))
+      (Json.to_string (Counterexample.to_json b))
+  | None, None -> Alcotest.fail "both job counts missed the planted bug"
+  | Some _, None -> Alcotest.fail "jobs:4 missed the planted bug"
+  | None, Some _ -> Alcotest.fail "jobs:1 missed the planted bug");
+  (* Clean space: identical exhaustion stats, no counterexample. *)
+  let sc = planted_scenario ~slack:0.0 in
+  let seq = Explorer.explore ~options:Explorer.default_options ~jobs:1 sc in
+  let par = Explorer.explore ~options:Explorer.default_options ~jobs:4 sc in
+  Alcotest.check stats "clean: identical statistics" seq.Explorer.stats
+    par.Explorer.stats;
+  Alcotest.(check bool) "clean at any job count" true
+    (Option.is_none seq.Explorer.counterexample
+    && Option.is_none par.Explorer.counterexample)
+
 let test_mutation_needs_the_fault () =
   (* Same scenario without the slack: the space is clean, proving the
      counterexample above is the planted bug and not a latent protocol
@@ -273,4 +320,6 @@ let suite =
     Alcotest.test_case "mutation: planted bug found" `Quick test_mutation_found;
     Alcotest.test_case "mutation: clean without fault" `Quick
       test_mutation_needs_the_fault;
+    Alcotest.test_case "parallel exploration is deterministic" `Quick
+      test_parallel_determinism;
   ]

@@ -83,15 +83,14 @@ let write_gen =
   QCheck.Gen.(
     map
       (fun (origin, seq, t, weights) ->
-        {
-          Write.id = { origin; seq = seq + 1 };
-          accept_time = t;
-          op = Op.Add ("x", 1.0);
-          affects =
-            List.map
-              (fun (c, nw, ow) -> { Write.conit = "c" ^ string_of_int c; nweight = nw; oweight = ow })
-              weights;
-        })
+        Write.make
+          ~id:{ origin; seq = seq + 1 }
+          ~accept_time:t
+          ~op:(Op.Add ("x", 1.0))
+          ~affects:
+            (List.map
+               (fun (c, nw, ow) -> { Write.conit = "c" ^ string_of_int c; nweight = nw; oweight = ow })
+               weights))
       (quad (int_bound 7) (int_bound 1000)
          (float_bound_exclusive 1e6)
          (list_size (int_bound 4) (triple (int_bound 9) float float))))
@@ -110,7 +109,31 @@ let test_write_roundtrip =
                 a.conit = b.conit
                 && a.nweight = b.nweight
                 && a.oweight = b.oweight)
-              w.Write.affects w'.Write.affects))
+              w.Write.affects w'.Write.affects
+         && Write.byte_size w = String.length (Codec.write_to_string w)))
+
+let test_write_size_memoized () =
+  let ops =
+    [ Op.Noop;
+      Op.Set ("key", Value.Str "hello");
+      Op.Add ("counter", 2.5);
+      Op.Append ("xs", Value.List [ Value.Int 1; Value.Str "ab"; Value.Nil ]);
+      Op.Named ("reserve", Value.Float 7.0) ]
+  in
+  List.iteri
+    (fun i op ->
+      let w =
+        Write.make ~id:{ origin = 1; seq = i + 1 }
+          ~accept_time:(float_of_int i) ~op
+          ~affects:
+            [ { Write.conit = "conit-" ^ string_of_int i; nweight = 1.0; oweight = 0.5 } ]
+      in
+      Alcotest.(check int) "fresh write has no cached size" (-1) w.Write.size_cache;
+      let expect = String.length (Codec.write_to_string w) in
+      Alcotest.(check int) "cached size = encoded length" expect (Write.byte_size w);
+      Alcotest.(check int) "size memoized in the write" expect w.Write.size_cache;
+      Alcotest.(check int) "stable on re-query" expect (Write.byte_size w))
+    ops
 
 (* --- Vectors -------------------------------------------------------------- *)
 
@@ -150,12 +173,11 @@ let test_snapshot_file_roundtrip () =
   for seq = 1 to 5 do
     ignore
       (Wlog.accept log
-         {
-           Write.id = { origin = 0; seq };
-           accept_time = float_of_int seq;
-           op = Op.Add ("x", 2.0);
-           affects = [ { Write.conit = "c"; nweight = 2.0; oweight = 1.0 } ];
-         })
+         (Write.make
+            ~id:{ origin = 0; seq }
+            ~accept_time:(float_of_int seq)
+            ~op:(Op.Add ("x", 2.0))
+            ~affects:[ { Write.conit = "c"; nweight = 2.0; oweight = 1.0 } ]))
   done;
   ignore (Wlog.commit_stable log ~cover:[| infinity; infinity |]);
   let snap = Wlog.snapshot log in
@@ -200,15 +222,14 @@ let test_byte_sizes () =
   for seq = 1 to 8 do
     ignore
       (Wlog.accept log
-         {
-           Write.id = { origin = 0; seq };
-           accept_time = float_of_int seq;
-           op =
-             (if seq mod 2 = 0 then Op.Add ("x", 1.5)
-              else Op.Append ("xs", Value.Str (String.make seq 'a')));
-           affects = [ { Write.conit = "conit-" ^ string_of_int (seq mod 2);
-                         nweight = 1.0; oweight = 0.5 } ];
-         })
+         (Write.make
+            ~id:{ origin = 0; seq }
+            ~accept_time:(float_of_int seq)
+            ~op:
+              (if seq mod 2 = 0 then Op.Add ("x", 1.5)
+               else Op.Append ("xs", Value.Str (String.make seq 'a')))
+            ~affects:[ { Write.conit = "conit-" ^ string_of_int (seq mod 2);
+                         nweight = 1.0; oweight = 0.5 } ]))
   done;
   ignore (Wlog.commit_stable log ~cover:[| infinity; infinity; infinity |]);
   let snap = Wlog.snapshot log in
@@ -238,6 +259,7 @@ let base_suite =
     Alcotest.test_case "proc unserializable" `Quick test_proc_unserializable;
     Alcotest.test_case "named proc applies" `Quick test_named_proc_applies;
     test_write_roundtrip;
+    Alcotest.test_case "write size memoized" `Quick test_write_size_memoized;
     Alcotest.test_case "vector round trip" `Quick test_vector_roundtrip;
     Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
     Alcotest.test_case "snapshot file round trip" `Quick test_snapshot_file_roundtrip;

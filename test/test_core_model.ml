@@ -6,12 +6,8 @@ open Tact_core
 let feq a b = Float.abs (a -. b) < 1e-9
 
 let w ?(nw = 1.0) ?(ow = 1.0) ~origin ~seq ~t conits =
-  {
-    Write.id = { origin; seq };
-    accept_time = t;
-    op = Op.Noop;
-    affects = List.map (fun c -> { Write.conit = c; nweight = nw; oweight = ow }) conits;
-  }
+  Write.make ~id:{ origin; seq } ~accept_time:t ~op:Op.Noop
+    ~affects:(List.map (fun c -> { Write.conit = c; nweight = nw; oweight = ow }) conits)
 
 (* --- Bounds ----------------------------------------------------------- *)
 

@@ -11,7 +11,7 @@ module Sanitize = Tact_util.Sanitize
 let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
 
 let mk ?(op = Op.Noop) ?(affects = [ unit_w "c" ]) ~origin ~seq ~t () =
-  { Write.id = { origin; seq }; accept_time = t; op; affects }
+  Write.make ~id:{ origin; seq } ~accept_time:t ~op ~affects
 
 let with_sanitize f =
   Sanitize.set_enabled true;

@@ -215,13 +215,9 @@ let test_op_describe_size () =
 (* --- Write ------------------------------------------------------------ *)
 
 let w ~origin ~seq ~t affects =
-  {
-    Write.id = { origin; seq };
-    accept_time = t;
-    op = Op.Noop;
-    affects =
-      List.map (fun (c, nw, ow) -> { Write.conit = c; nweight = nw; oweight = ow }) affects;
-  }
+  Write.make ~id:{ origin; seq } ~accept_time:t ~op:Op.Noop
+    ~affects:
+      (List.map (fun (c, nw, ow) -> { Write.conit = c; nweight = nw; oweight = ow }) affects)
 
 let test_write_weights () =
   let x = w ~origin:0 ~seq:1 ~t:1.0 [ ("a", 2.0, 0.5); ("b", 0.0, 0.0) ] in

@@ -9,12 +9,9 @@ let feq a b = Float.abs (a -. b) < 1e-9
 let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
 
 let mk ~origin ~seq ~t =
-  {
-    Write.id = { origin; seq };
-    accept_time = t;
-    op = Op.Add ("x", 1.0);
-    affects = [ unit_w "c" ];
-  }
+  Write.make ~id:{ origin; seq } ~accept_time:t
+    ~op:(Op.Add ("x", 1.0))
+    ~affects:[ unit_w "c" ]
 
 let filled_log n =
   let log = Wlog.create ~replicas:2 ~initial:[] in

@@ -8,7 +8,7 @@ let feq a b = Float.abs (a -. b) < 1e-9
 let unit_w conit = { Write.conit; nweight = 1.0; oweight = 1.0 }
 
 let mk ?(op = Op.Noop) ?(affects = [ unit_w "c" ]) ~origin ~seq ~t () =
-  { Write.id = { origin; seq }; accept_time = t; op; affects }
+  Write.make ~id:{ origin; seq } ~accept_time:t ~op ~affects
 
 let add_op k = Op.Add (k, 1.0)
 
@@ -211,6 +211,35 @@ let test_writes_since () =
   Alcotest.(check (list (float 1e-9))) "ts order" [ 1.5; 2.0 ]
     (List.map (fun (w : Write.t) -> w.Write.accept_time) diff)
 
+(* The k-way merge agrees with a sort of the same writes at every lag,
+   including ties on accept_time (broken by origin, then seq) and origins
+   with empty deltas. *)
+let test_writes_since_merge_order () =
+  let replicas = 5 in
+  let log = Wlog.create ~replicas ~initial:[] in
+  for origin = 0 to replicas - 2 do
+    (* Origin [replicas-1] stays empty. *)
+    for seq = 1 to 40 do
+      (* Coarse timestamps: non-decreasing per origin, with plenty of
+         cross-origin ties. *)
+      let t = float_of_int ((seq + origin) / 2) in
+      ignore (Wlog.insert log (mk ~origin ~seq ~t ()))
+    done
+  done;
+  let ids l = List.map (fun (w : Write.t) -> w.id) l in
+  for lag = 0 to 40 do
+    let v = Version_vector.create replicas in
+    for o = 0 to replicas - 1 do
+      Version_vector.set v o (max 0 (40 - lag - o))
+    done;
+    let diff = Wlog.writes_since log v in
+    let expect = List.sort Write.ts_compare diff in
+    Alcotest.(check bool)
+      (Printf.sprintf "merge order at lag %d" lag)
+      true
+      (ids diff = ids expect)
+  done
+
 let test_insert_batch_single_replay () =
   let log = Wlog.create ~replicas:3 ~initial:[] in
   ignore (Wlog.accept log (mk ~op:(add_op "x") ~origin:0 ~seq:1 ~t:10.0 ()));
@@ -320,6 +349,8 @@ let base_suite =
     Alcotest.test_case "commit_ids reorder" `Quick test_commit_ids_reorder;
     Alcotest.test_case "conit bookkeeping" `Quick test_conit_bookkeeping;
     Alcotest.test_case "writes_since" `Quick test_writes_since;
+    Alcotest.test_case "writes_since merge order" `Quick
+      test_writes_since_merge_order;
     Alcotest.test_case "insert_batch single replay" `Quick test_insert_batch_single_replay;
     Alcotest.test_case "insert_batch returns drained" `Quick test_insert_batch_returns_drained;
     test_convergence_prop;

@@ -97,12 +97,10 @@ let gen_pool rng ~replicas =
       let nw = Tact_util.Prng.uniform_in rng ~lo:(-2.0) ~hi:2.0 in
       let ow = Tact_util.Prng.float rng 2.0 in
       pool :=
-        {
-          Write.id = { origin; seq };
-          accept_time = clock.(origin);
-          op = Op.Add ("k" ^ conit, 1.0);
-          affects = [ { Write.conit; nweight = nw; oweight = ow } ];
-        }
+        Write.make ~id:{ origin; seq }
+          ~accept_time:clock.(origin)
+          ~op:(Op.Add ("k" ^ conit, 1.0))
+          ~affects:[ { Write.conit; nweight = nw; oweight = ow } ]
         :: !pool
     done
   done;
@@ -331,12 +329,9 @@ let gen_big_pool rng ~replicas =
       let nw = Tact_util.Prng.uniform_in rng ~lo:(-2.0) ~hi:2.0 in
       let ow = Tact_util.Prng.float rng 2.0 in
       pool :=
-        {
-          Write.id = { origin; seq };
-          accept_time = clock.(origin);
-          op;
-          affects = [ { Write.conit; nweight = nw; oweight = ow } ];
-        }
+        Write.make ~id:{ origin; seq }
+          ~accept_time:clock.(origin) ~op
+          ~affects:[ { Write.conit; nweight = nw; oweight = ow } ]
         :: !pool
     done
   done;
