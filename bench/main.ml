@@ -377,6 +377,19 @@ let pool_scaling ~jobs_list ~preemptions ~max_schedules () =
   | [] -> ());
   results
 
+(* Nemesis fault campaign: [runs] seeded fault-injected simulations back to
+   back — plan sampling, fault-schedule install, full run, O1-O6 oracle
+   sweep.  A clean-seed campaign must pass everywhere; the digest length
+   check guards the jobs-invariance witness itself. *)
+let kernel_nemesis_campaign ~runs ?(jobs = 1) () =
+  let open Tact_nemesis in
+  let summary =
+    Campaign.run { Campaign.default with Campaign.master_seed = 7; runs; jobs }
+  in
+  assert (summary.Campaign.completed = runs);
+  assert (summary.Campaign.failures = []);
+  assert (String.length summary.Campaign.digest = 16)
+
 type kernel_result = {
   kr_name : string;
   kr_param : int;
@@ -418,6 +431,7 @@ let scaling_kernel_specs =
     ("wlog_insert_storm", 10_000, fun () -> kernel_insert_storm ~writes:10_000 ());
     ("wlog_insert_storm", 30_000, fun () -> kernel_insert_storm ~writes:30_000 ());
     ("replica_serve", 10_000, fun () -> kernel_serve ~accesses:10_000 ());
+    ("nemesis_campaign", 500, fun () -> kernel_nemesis_campaign ~runs:500 ());
   ]
 
 (* With [jobs > 1] the kernels themselves run concurrently on a pool (each
@@ -512,6 +526,7 @@ let run_smoke ~jobs =
   kernel_accept_commit ~writes:256 ~batch:16 ();
   kernel_insert_storm ~writes:512 ~lag:16 ();
   kernel_serve ~accesses:100 ();
+  kernel_nemesis_campaign ~runs:10 ~jobs:(max 1 jobs) ();
   ignore (kernel_writes_since ~writes:2_048 ~replicas:4 ~reps:1 ());
   ignore
     (pool_scaling

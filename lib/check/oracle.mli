@@ -16,6 +16,24 @@
       access asked for.
 
     Each violated property yields one human-readable line; the empty list
-    means the execution passed. *)
+    means the execution passed.
+
+    The individual checks are exposed so other harnesses (the nemesis
+    fault-campaign runner, {!Tact_nemesis.Oracle}) can reuse them outside a
+    {!Scenario.t}. *)
 
 val run : Scenario.t -> Tact_replica.System.t -> string list
+
+val check_bounds : lcp:bool -> Tact_replica.System.t -> string list
+(** O1: every served access within its requested bounds, vs the ECG. *)
+
+val check_committed :
+  prefix:bool -> ext:bool -> causal:bool -> Tact_replica.System.t -> string list
+(** O2: pairwise committed-prefix agreement (1SR) and external/causal
+    compatibility of the longest committed order. *)
+
+val check_converged : Tact_replica.System.t -> string list
+(** O3: equal version vectors and database images after quiescence. *)
+
+val check_theorem1 : Tact_replica.System.t -> string list
+(** O4: experienced NE within each conit's declared system-wide bound. *)

@@ -1,0 +1,55 @@
+(** Randomized fault campaigns: fan hundreds of seeded runs across the
+    work-stealing domain pool, oracle-check every run, and shrink failures
+    into replayable counterexamples.
+
+    Determinism contract (asserted by the test suite, mirroring the
+    explorer's): for a fixed [master_seed] and [runs], the campaign executes
+    the same runs with the same verdicts regardless of [jobs] — per-run
+    seeds are drawn before fan-out, each run is a pure function of its seed,
+    and results are collected in input order.  The {!summary.digest} string
+    folds every per-run outcome, so equal digests witness the contract.
+
+    The optional [budget_check] is consulted between fixed-size batches
+    (never inside a run), so a wall-clock budget can stop a campaign early
+    without perturbing any run that does execute. *)
+
+type config = {
+  master_seed : int;
+  runs : int;
+  jobs : int;
+  mutation : Mutation.t;  (** planted bug to enable ([Off] for real runs) *)
+  max_shrunk : int;  (** shrink at most this many failures (shrinking re-runs
+                         the schedule quadratically) *)
+  budget_check : (unit -> bool) option;
+      (** polled between batches; [false] stops the campaign early *)
+}
+
+val default : config
+(** seed 1, 100 runs, 1 job, no mutation, 3 shrunk failures, no budget. *)
+
+type outcome = {
+  run_seed : int;
+  violations : string list;
+  fingerprint : Tact_check.Fingerprint.t;
+  schedule_events : int;
+  ops : int;
+  timeouts : int;
+  dropped : int;
+}
+
+type summary = {
+  attempted : int;
+  completed : int;  (** < [attempted] only when the budget stopped early *)
+  outcomes : outcome list;
+  failures : Counterexample.t list;
+  digest : string;  (** deterministic digest of all outcomes, jobs-invariant *)
+}
+
+val derive_seeds : master_seed:int -> runs:int -> int list
+(** The per-run seed sequence (exposed for the CLI's [run] command). *)
+
+val one_run : mutation:Mutation.t -> int -> outcome * Fault.schedule
+(** Execute a single seeded run: derive the plan, sample its fault schedule,
+    run, oracle-check. *)
+
+val run : config -> summary

@@ -1,0 +1,123 @@
+open Tact_util
+
+(* Every generator draws from an explicit [Prng.t] and returns plain events;
+   [compose] merges fragments into one time-sorted disturbance list.  Salts
+   for stochastic knobs are drawn here, once, so the events are self-seeding
+   (see Fault). *)
+
+let salt rng = Prng.int rng 0x3FFFFFFF
+
+(* A random non-empty proper subset of [0, n), with its complement. *)
+let split_groups rng ~n =
+  let k = 1 + Prng.int rng (n - 1) in
+  let ids = Array.init n Fun.id in
+  Prng.shuffle rng ids;
+  let a = Array.to_list (Array.sub ids 0 k) in
+  let b = Array.to_list (Array.sub ids k (n - k)) in
+  (List.sort Int.compare a, List.sort Int.compare b)
+
+(* Isolate one node per round, moving around the ring: heal the previous
+   victim just before cutting the next, so the partition "rolls". *)
+let rolling_partition rng ~n ~start ~period ~rounds =
+  let first = Prng.int rng n in
+  let events = ref [] in
+  for r = 0 to rounds - 1 do
+    let victim = (first + r) mod n in
+    let t = start +. (float_of_int r *. period) in
+    let rest = List.filter (fun i -> i <> victim) (List.init n Fun.id) in
+    if r > 0 then begin
+      let prev = (first + r - 1) mod n in
+      let prev_rest = List.filter (fun i -> i <> prev) (List.init n Fun.id) in
+      events :=
+        { Fault.at = t; action = Fault.Heal_between ([ prev ], prev_rest) }
+        :: !events
+    end;
+    events :=
+      { Fault.at = t +. (period /. 100.0); action = Fault.Cut ([ victim ], rest) }
+      :: !events
+  done;
+  (* Final victim heals with the quiescent tail. *)
+  List.rev !events
+
+let asymmetric_partition rng ~n ~start ~duration =
+  let a, b = split_groups rng ~n in
+  [
+    { Fault.at = start; action = Fault.Cut_oneway (a, b) };
+    { Fault.at = start +. duration; action = Fault.Heal_between (a, b) };
+  ]
+
+(* One link pair alternating cut/heal every [period]. *)
+let flapping_link rng ~n ~start ~period ~flaps =
+  let a = Prng.int rng n in
+  let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+  List.concat
+    (List.init flaps (fun i ->
+         let t = start +. (float_of_int i *. period) in
+         [
+           { Fault.at = t; action = Fault.Cut ([ a ], [ b ]) };
+           {
+             Fault.at = t +. (period /. 2.0);
+             action = Fault.Heal_between ([ a ], [ b ]);
+           };
+         ]))
+
+(* Crash a random replica, keep it down for an exponential holding time,
+   recover, repeat — overlapping storms across replicas are possible and
+   intended. *)
+let crash_storm rng ~n ~start ~horizon ~mean_uptime ~mean_downtime =
+  let events = ref [] in
+  let t = ref (start +. Prng.exponential rng ~mean:mean_uptime) in
+  while !t < horizon do
+    let victim = Prng.int rng n in
+    let down = Prng.exponential rng ~mean:mean_downtime in
+    events := { Fault.at = !t; action = Fault.Crash victim } :: !events;
+    let recover_at = !t +. down in
+    if recover_at < horizon then
+      events := { Fault.at = recover_at; action = Fault.Recover victim } :: !events;
+    (* Replicas still down at the horizon recover with the quiescent tail. *)
+    t := !t +. Prng.exponential rng ~mean:mean_uptime
+  done;
+  List.rev !events
+
+let loss_burst rng ~start ~duration ~rate =
+  [
+    { Fault.at = start; action = Fault.Global_loss { rate; salt = salt rng } };
+    { Fault.at = start +. duration; action = Fault.Global_loss { rate = 0.0; salt = 0 } };
+  ]
+
+let link_loss_burst rng ~n ~start ~duration ~rate =
+  let src = Prng.int rng n in
+  let dst = (src + 1 + Prng.int rng (n - 1)) mod n in
+  [
+    {
+      Fault.at = start;
+      action = Fault.Link_loss { src; dst; rate; salt = salt rng };
+    };
+    {
+      Fault.at = start +. duration;
+      action = Fault.Link_loss { src; dst; rate = 0.0; salt = 0 };
+    };
+  ]
+
+let duplication_storm rng ~start ~duration ~rate =
+  [
+    { Fault.at = start; action = Fault.Duplication { rate; salt = salt rng } };
+    { Fault.at = start +. duration; action = Fault.Duplication { rate = 0.0; salt = 0 } };
+  ]
+
+let delay_spike _rng ~start ~duration ~factor =
+  [
+    { Fault.at = start; action = Fault.Delay_factor factor };
+    { Fault.at = start +. duration; action = Fault.Delay_factor 1.0 };
+  ]
+
+let bandwidth_squeeze _rng ~start ~duration ~factor =
+  [
+    { Fault.at = start; action = Fault.Bandwidth_factor factor };
+    { Fault.at = start +. duration; action = Fault.Bandwidth_factor 1.0 };
+  ]
+
+let compose fragments =
+  List.stable_sort
+    (fun (a : Fault.event) b -> Float.compare a.Fault.at b.Fault.at)
+    (List.concat fragments)

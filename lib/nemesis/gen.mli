@@ -1,0 +1,66 @@
+(** Composable fault-schedule generators.
+
+    Each generator draws every random choice from the [Prng.t] it is handed
+    (a schedule is a pure function of its seeds) and returns a disturbance
+    fragment; {!compose} merges fragments into one time-sorted event list.
+    None of the generators emits a final heal — the runner's quiescent tail
+    ({!Fault.install}) lifts whatever is still in force at [quiet_after]. *)
+
+val rolling_partition :
+  Tact_util.Prng.t ->
+  n:int ->
+  start:float ->
+  period:float ->
+  rounds:int ->
+  Fault.event list
+(** Isolate one node per round, rolling around the ring: the previous victim
+    heals as the next is cut. *)
+
+val asymmetric_partition :
+  Tact_util.Prng.t -> n:int -> start:float -> duration:float -> Fault.event list
+(** One random one-way group cut (messages A->B drop, B->A flow), healed
+    after [duration]. *)
+
+val flapping_link :
+  Tact_util.Prng.t ->
+  n:int ->
+  start:float ->
+  period:float ->
+  flaps:int ->
+  Fault.event list
+(** A random node pair cut and healed [flaps] times at half-period cadence. *)
+
+val crash_storm :
+  Tact_util.Prng.t ->
+  n:int ->
+  start:float ->
+  horizon:float ->
+  mean_uptime:float ->
+  mean_downtime:float ->
+  Fault.event list
+(** Poisson crash/recover process over random replicas until [horizon];
+    replicas still down at the horizon recover with the quiescent tail. *)
+
+val loss_burst :
+  Tact_util.Prng.t -> start:float -> duration:float -> rate:float -> Fault.event list
+
+val link_loss_burst :
+  Tact_util.Prng.t ->
+  n:int ->
+  start:float ->
+  duration:float ->
+  rate:float ->
+  Fault.event list
+(** Loss on one random directed link only. *)
+
+val duplication_storm :
+  Tact_util.Prng.t -> start:float -> duration:float -> rate:float -> Fault.event list
+
+val delay_spike :
+  Tact_util.Prng.t -> start:float -> duration:float -> factor:float -> Fault.event list
+
+val bandwidth_squeeze :
+  Tact_util.Prng.t -> start:float -> duration:float -> factor:float -> Fault.event list
+
+val compose : Fault.event list list -> Fault.event list
+(** Merge fragments, stable-sorted by time. *)

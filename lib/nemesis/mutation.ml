@@ -1,0 +1,23 @@
+open Tact_replica
+
+type t = Off | Crash_replay | Oe_slack of float
+
+let apply = function
+  | Off -> Fun.id
+  | Crash_replay -> fun c -> { c with Config.fault_crash_replay = true }
+  | Oe_slack s -> fun c -> { c with Config.fault_oe_slack = s }
+
+let to_string = function
+  | Off -> "off"
+  | Crash_replay -> "crash_replay"
+  | Oe_slack s -> Printf.sprintf "oe_slack:%g" s
+
+let of_string s =
+  if String.equal s "off" then Some Off
+  else if String.equal s "crash_replay" then Some Crash_replay
+  else if String.starts_with ~prefix:"oe_slack:" s then
+    Option.map
+      (fun f -> Oe_slack f)
+      (float_of_string_opt
+         (String.sub s 9 (String.length s - 9)))
+  else None

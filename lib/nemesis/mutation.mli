@@ -1,0 +1,18 @@
+(** Serializable planted-bug selectors for fuzzer self-tests.
+
+    A campaign (and its counterexamples) may run against a deliberately
+    broken configuration to prove the harness detects, shrinks and replays
+    the failure.  The selector is stored in the counterexample JSON so
+    replay applies the same bug. *)
+
+type t =
+  | Off  (** real configuration — the default *)
+  | Crash_replay  (** enable [Config.fault_crash_replay] *)
+  | Oe_slack of float  (** set [Config.fault_oe_slack] *)
+
+val apply : t -> Tact_replica.Config.t -> Tact_replica.Config.t
+
+val to_string : t -> string
+(** ["off"], ["crash_replay"], ["oe_slack:<x>"]. *)
+
+val of_string : string -> t option

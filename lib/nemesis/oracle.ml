@@ -1,0 +1,94 @@
+open Tact_replica
+
+type op_obs = {
+  o_index : int;
+  o_rid : int;
+  o_submit : float;
+  o_deadline : float option;
+  o_read : bool;
+  mutable o_completions : int;
+  mutable o_timeouts : int;
+}
+
+let describe_op o =
+  Printf.sprintf "%s #%d at replica %d (submit %g%s)"
+    (if o.o_read then "read" else "write")
+    o.o_index o.o_rid o.o_submit
+    (match o.o_deadline with
+    | Some d -> Printf.sprintf ", deadline %g" d
+    | None -> "")
+
+(* O5 (liveness): after the quiescent tail plus drain, the system has fully
+   recovered — every replica is up with nothing parked, all replicas agree
+   (vectors and database images), and every client heard back exactly once:
+   zero completions is a stuck access, more than one is a replayed one. *)
+let check_liveness sys obs =
+  let n = System.size sys in
+  let issues = ref [] in
+  for i = 0 to n - 1 do
+    let r = System.replica sys i in
+    if not (Replica.is_up r) then
+      issues := Printf.sprintf "liveness: replica %d still down after heal" i
+                :: !issues;
+    let parked = Replica.pending_count r in
+    if parked > 0 then
+      issues :=
+        Printf.sprintf
+          "liveness: replica %d still has %d parked accesses after heal" i
+          parked
+        :: !issues
+  done;
+  let convergence =
+    List.map (fun v -> "liveness: " ^ v) (Tact_check.Oracle.check_converged sys)
+  in
+  let completions =
+    List.filter_map
+      (fun o ->
+        let total = o.o_completions + o.o_timeouts in
+        if total = 1 then None
+        else if total = 0 then
+          Some
+            (Printf.sprintf "liveness: %s never completed nor timed out"
+               (describe_op o))
+        else
+          Some
+            (Printf.sprintf
+               "liveness: %s completed %d times (%d results, %d timeouts) — \
+                expected exactly one"
+               (describe_op o) total o.o_completions o.o_timeouts))
+      obs
+  in
+  List.rev !issues @ convergence @ completions
+
+(* O6 (bound violations with unavailability accounting): a bounded access
+   that times out trades consistency for availability — legitimate exactly
+   when a fault could have parked it.  The disturbance envelope is
+   approximated as [first event time, quiet_after + slack] ([slack] covers
+   post-heal catch-up: retries, pulls, round trips).  A timeout whose parked
+   window [submit, deadline] misses the envelope had no fault to blame: the
+   deadline generosity invariant of the sampled workloads (Sample) means the
+   bounds machinery itself failed to serve in time.  Served accesses are
+   never excused — the runner checks them against O1 unconditionally. *)
+let check_unavailability ~(schedule : Fault.schedule) ~slack obs =
+  let fault_lo =
+    List.fold_left
+      (fun acc (e : Fault.event) -> Float.min acc e.Fault.at)
+      infinity schedule.Fault.events
+  in
+  let fault_hi = schedule.Fault.quiet_after +. slack in
+  List.filter_map
+    (fun o ->
+      if o.o_timeouts = 0 then None
+      else
+        let deadline =
+          match o.o_deadline with Some d -> d | None -> infinity
+        in
+        let overlaps = fault_lo <= deadline && o.o_submit <= fault_hi in
+        if overlaps then None
+        else
+          Some
+            (Printf.sprintf
+               "unavailability: %s timed out outside any fault window \
+                (faults span [%g, %g])"
+               (describe_op o) fault_lo fault_hi))
+    obs

@@ -1,0 +1,28 @@
+(** Execute one sampled plan under one fault schedule and check every
+    oracle: the reused O1 (bounds), O2 (committed order, [ext] only under
+    Stability commitment), O4 (Theorem 1), plus the nemesis O5 (liveness,
+    which subsumes O3 convergence) and O6 (unavailability accounting).
+
+    The run is a pure function of [(plan, schedule, mutate)] — the system is
+    built jitter-seeded from the plan's seed, loss-free at the {!System}
+    level (loss is injected only through fault events), and every stochastic
+    fault knob is self-seeded. *)
+
+type result = {
+  violations : string list;  (** empty = passed every oracle *)
+  fingerprint : Tact_check.Fingerprint.t;  (** final state digest *)
+  ops : int;
+  timeouts : int;
+  messages : int;
+  dropped : int;
+}
+
+val execute :
+  ?mutate:(Tact_replica.Config.t -> Tact_replica.Config.t) ->
+  Sample.plan ->
+  Fault.schedule ->
+  result
+(** [mutate] (default identity) transforms the configuration just before the
+    system is built — the hook the mutation tests use to enable planted bugs
+    ([fault_crash_replay], [fault_oe_slack]).  Oracle parameters (declared
+    conits, commit scheme) are always taken from the {e unmutated} plan. *)

@@ -1,0 +1,38 @@
+(** Deterministic sampling of workload + topology + configuration plans and
+    fault schedules for campaign runs.
+
+    A {!plan} is a pure function of its seed, so counterexamples only need to
+    record the seed (plus the shrunk fault events) to replay exactly.  Plans
+    stay inside the soundness envelope of the reused oracles: only absolute
+    NE bounds under the Even budget policy (Theorem 1), reads requesting
+    exactly the declared conit bounds (always satisfiable), and generous read
+    deadlines so fault-free runs never time out. *)
+
+type op_kind =
+  | Write_op of { conit : string; nweight : float; oweight : float }
+  | Read_op of { deps : (string * Tact_core.Bounds.t) list }
+
+type op = {
+  op_rid : int;
+  op_time : float;
+  op_kind : op_kind;
+  op_deadline : float option;  (** absolute; reads only *)
+}
+
+type plan = {
+  seed : int;
+  n : int;  (** 2-4 replicas *)
+  topology : Tact_sim.Topology.t;
+  jitter : float;
+  config : Tact_replica.Config.t;
+  ops : op list;
+  horizon : float;  (** last client submission before this time *)
+  quiet_after : float;  (** disturbances lifted here ({!Fault.install}) *)
+  drain : float;  (** extra virtual time to run after [quiet_after] *)
+}
+
+val plan : seed:int -> plan
+(** Derive the full plan from the seed. *)
+
+val faults : Tact_util.Prng.t -> plan -> Fault.schedule
+(** Sample 1-3 composed disturbance fragments sized to the plan's horizon. *)

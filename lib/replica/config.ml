@@ -11,6 +11,7 @@ type t = {
   trace : Tact_util.Trace.t option;
   gossip_plan : (int -> int array) option;
   fault_oe_slack : float;
+  fault_crash_replay : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     trace = None;
     gossip_plan = None;
     fault_oe_slack = 0.0;
+    fault_crash_replay = false;
   }
 
 let conit t name =

@@ -45,6 +45,14 @@ type t = {
           slack the accept path wrongly grants (a planted off-by-[slack] bug).
           Must stay 0 in real configurations — the mutation tests set it to
           prove [tact_check] catches the resulting bound violations. *)
+  fault_crash_replay : bool;
+      (** fault-injection knob for fuzzer validation only: a planted recovery
+          bug where {!Replica.crash} notifies the parked accesses' clients
+          (their [on_timeout] fires) but forgets to drop the queue entries, so
+          recovery replays them and clients observe a double completion.  Must
+          stay [false] in real configurations — the nemesis mutation tests
+          enable it to prove [tact_fuzz] catches, shrinks, and replays the
+          resulting liveness violation (doc/FAULTS.md). *)
 }
 
 val default : t

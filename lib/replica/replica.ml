@@ -27,7 +27,14 @@ type msg =
   | Pull_req of { from : int; vector : Version_vector.t; csn_known : int; round : int }
   | Ack of { from : int; vector : Version_vector.t; csn_known : int }
 
-type round_state = { mutable remaining : int; started : float }
+type round_state = {
+  mutable remaining : int;
+  started : float;
+  replied : bool array;
+      (** per-peer reply dedup: the network may duplicate messages, and a
+          round must complete only after [remaining] {e distinct} peers
+          answer, not after the same reply arrives twice *)
+}
 
 type pending = {
   p_submit : float;
@@ -257,9 +264,16 @@ let msg_size n = function
 let rec handle t msg = if t.up then process t msg
 
 and send t ~dst msg =
-  if t.up then
+  if t.up then begin
+    (* Capture the destination's crash epoch at send time: a message still in
+       flight when the target crashes belongs to the dead incarnation and is
+       discarded on arrival, even if the target has since recovered.  (Models
+       connection state dying with the process.) *)
+    let target = t.peers dst in
+    let epoch = target.crashes in
     Net.send t.net ~src:t.rid ~dst ~size:(msg_size t.n msg) (fun () ->
-        handle (t.peers dst) msg)
+        if target.crashes = epoch then handle target msg)
+  end
 
 and my_cover t =
   let c = Array.copy t.cover in
@@ -595,8 +609,27 @@ and update_rate t =
 and fresh_round t =
   t.round_ctr <- t.round_ctr + 1;
   let r = t.round_ctr in
-  Hashtbl.replace t.rounds r { remaining = t.n - 1; started = now t };
+  Hashtbl.replace t.rounds r
+    { remaining = t.n - 1; started = now t; replied = Array.make t.n false };
   r
+
+(* A peer answered pull round [round] (via Snapshot or Transfer).  Count each
+   peer at most once — duplicated replies must not complete a round early. *)
+and round_reply t ~round ~from =
+  if round > 0 then
+    match Hashtbl.find_opt t.rounds round with
+    | Some st ->
+      if not st.replied.(from) then begin
+        st.replied.(from) <- true;
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then begin
+          Hashtbl.remove t.rounds round;
+          Queue.iter
+            (fun p -> if p.p_round = Some round then p.p_round_done <- true)
+            t.pending
+        end
+      end
+    | None -> ()
 
 and send_pull t ~dst ~round =
   send t ~dst
@@ -794,17 +827,7 @@ and process t msg =
     t.rates.(from) <- rate;
     note_peer_vector t ~peer:from vector;
     commit_progress t;
-    if round > 0 then (
-      match Hashtbl.find_opt t.rounds round with
-      | Some st ->
-        st.remaining <- st.remaining - 1;
-        if st.remaining <= 0 then begin
-          Hashtbl.remove t.rounds round;
-          Queue.iter
-            (fun p -> if p.p_round = Some round then p.p_round_done <- true)
-            t.pending
-        end
-      | None -> ())
+    round_reply t ~round ~from
   | Pull_req { from; vector; csn_known; round } ->
     note_peer_vector t ~peer:from vector;
     t.acked_csn.(from) <- max t.acked_csn.(from) csn_known;
@@ -838,18 +861,7 @@ and process t msg =
              vector = Version_vector.copy (Wlog.vector t.wlog);
              csn_known = Csn_buffer.known t.csn;
            })
-    | `Pull_reply round ->
-      if round > 0 then (
-        match Hashtbl.find_opt t.rounds round with
-        | Some st ->
-          st.remaining <- st.remaining - 1;
-          if st.remaining <= 0 then begin
-            Hashtbl.remove t.rounds round;
-            Queue.iter
-              (fun p -> if p.p_round = Some round then p.p_round_done <- true)
-              t.pending
-          end
-        | None -> ())
+    | `Pull_reply round -> round_reply t ~round ~from
     | `Gossip -> ()));
   pump t;
   sanity_check t
@@ -939,17 +951,30 @@ let crash t =
     trace t ~kind:"crash" "replica down";
     t.up <- false;
     t.crashes <- t.crashes + 1;
-    let parked = t.pending in
-    t.pending <- Queue.create ();
-    t.npending <- 0;
-    Hashtbl.reset t.rounds;
-    Queue.iter
-      (fun p ->
-        if not p.p_done then begin
-          p.p_done <- true;
-          match p.p_on_timeout with Some f -> f () | None -> ()
-        end)
-      parked
+    if t.cfg.Config.fault_crash_replay then
+      (* Planted bug (must stay off outside fuzzer mutation tests): the
+         clients are told their parked accesses failed, but the queue entries
+         are not dropped — recovery replays them, so each such client hears
+         back twice.  The nemesis liveness oracle (O5) flags the double
+         completion; see doc/FAULTS.md. *)
+      Queue.iter
+        (fun p ->
+          if not p.p_done then
+            match p.p_on_timeout with Some f -> f () | None -> ())
+        t.pending
+    else begin
+      let parked = t.pending in
+      t.pending <- Queue.create ();
+      t.npending <- 0;
+      Hashtbl.reset t.rounds;
+      Queue.iter
+        (fun p ->
+          if not p.p_done then begin
+            p.p_done <- true;
+            match p.p_on_timeout with Some f -> f () | None -> ()
+          end)
+        parked
+    end
   end
 
 let recover t =

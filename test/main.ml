@@ -28,5 +28,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("sanitize", Test_sanitize.suite);
       ("check", Test_check.suite);
+      ("nemesis", Test_nemesis.suite);
       ("smoke", Test_smoke.suite);
     ]

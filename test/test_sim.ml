@@ -327,4 +327,125 @@ let test_traffic_where () =
 let traffic_suite =
   [ Alcotest.test_case "traffic_where split" `Quick test_traffic_where ]
 
-let suite = base_suite @ queued_suite @ traffic_suite
+(* --- fault primitives (nemesis substrate) ----------------------------- *)
+
+let test_net_oneway_partition () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.01 ~bandwidth:1e9) () in
+  Net.partition_oneway net [ 0 ] [ 1 ];
+  let fwd = ref 0 and back = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr fwd);
+  Net.send net ~src:1 ~dst:0 ~size:10 (fun () -> incr back);
+  Engine.run e;
+  Alcotest.(check int) "forward dropped" 0 !fwd;
+  Alcotest.(check int) "reverse flows" 1 !back;
+  Net.heal_between net [ 0 ] [ 1 ];
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr fwd);
+  Engine.run e;
+  Alcotest.(check int) "healed forward" 1 !fwd
+
+let test_net_heal_between_targeted () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:3 ~latency:0.01 ~bandwidth:1e9) () in
+  Net.partition net [ 0 ] [ 1 ];
+  Net.partition net [ 0 ] [ 2 ];
+  Net.heal_between net [ 0 ] [ 1 ];
+  Alcotest.(check bool) "0-1 healed" false (Net.partitioned net 0 1);
+  Alcotest.(check bool) "1-0 healed" false (Net.partitioned net 1 0);
+  Alcotest.(check bool) "0-2 still cut" true (Net.partitioned net 0 2);
+  Net.heal net;
+  Alcotest.(check bool) "heal-all clears the rest" false (Net.partitioned net 0 2)
+
+let test_net_drop_accounting () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.01 ~bandwidth:1e9) () in
+  Net.partition net [ 0 ] [ 1 ];
+  Net.send net ~src:0 ~dst:1 ~size:10 ignore;
+  Net.heal net;
+  let rng = Tact_util.Prng.create ~seed:3 in
+  Net.set_loss net (Some (rng, 1.0));
+  Net.send net ~src:0 ~dst:1 ~size:10 ignore;
+  Net.set_loss net None;
+  Net.send net ~src:0 ~dst:1 ~size:10 ignore;
+  Engine.run e;
+  let s = Net.stats net in
+  Alcotest.(check int) "1 cut drop" 1 s.Net.dropped_cut;
+  Alcotest.(check int) "1 loss drop" 1 s.Net.dropped_loss;
+  Alcotest.(check int) "total is the sum" 2 s.Net.dropped;
+  (* Satellite: per-link drops feed traffic_where instead of reading 0. *)
+  let link01 = Net.traffic_where net (fun ~src ~dst -> src = 0 && dst = 1) in
+  Alcotest.(check int) "per-link drops tracked" 2 link01.Net.dropped;
+  Alcotest.(check int) "per-link delivery tracked" 1 link01.Net.messages
+
+let test_net_link_loss_directed () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.01 ~bandwidth:1e9) () in
+  let rng = Tact_util.Prng.create ~seed:3 in
+  Net.set_link_loss net ~src:0 ~dst:1 (Some (rng, 1.0));
+  let fwd = ref 0 and back = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr fwd);
+  Net.send net ~src:1 ~dst:0 ~size:10 (fun () -> incr back);
+  Engine.run e;
+  Alcotest.(check int) "lossy direction drops" 0 !fwd;
+  Alcotest.(check int) "other direction flows" 1 !back;
+  Net.set_link_loss net ~src:0 ~dst:1 None;
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr fwd);
+  Engine.run e;
+  Alcotest.(check int) "cleared" 1 !fwd
+
+let test_net_duplication () =
+  let e = Engine.create () in
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1e9) () in
+  let rng = Tact_util.Prng.create ~seed:9 in
+  Net.set_duplication net (Some (rng, 1.0));
+  let times = ref [] in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> times := Engine.now e :: !times);
+  Engine.run e;
+  (match !times with
+  | [ second; first ] ->
+    Alcotest.(check bool) "original on time" true
+      (feq first (0.1 +. (10.0 /. 1e9)));
+    Alcotest.(check bool) "duplicate strictly later" true (second > first)
+  | l ->
+    Alcotest.failf "expected exactly 2 deliveries, got %d" (List.length l));
+  Net.set_duplication net None;
+  let count = ref 0 in
+  Net.send net ~src:0 ~dst:1 ~size:10 (fun () -> incr count);
+  Engine.run e;
+  Alcotest.(check int) "disabled again" 1 !count
+
+let test_net_delay_and_bandwidth_factors () =
+  let e = Engine.create () in
+  (* latency 0.1, 1 MB/s: 1000 bytes = 0.001s serialisation. *)
+  let net = Net.create e (Topology.uniform ~n:2 ~latency:0.1 ~bandwidth:1e6) () in
+  let t = ref nan in
+  Net.set_delay_factor net 2.0;
+  Net.send net ~src:0 ~dst:1 ~size:1000 (fun () -> t := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "delay doubled" true (feq !t 0.202);
+  Net.set_delay_factor net 1.0;
+  Net.set_bandwidth_factor net 0.5;
+  let t2 = ref nan in
+  Net.send net ~src:0 ~dst:1 ~size:1000 (fun () -> t2 := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "bandwidth halved doubles serialisation" true
+    (feq (!t2 -. 0.202) (0.1 +. 0.002));
+  Net.set_bandwidth_factor net 1.0;
+  let t3 = ref nan in
+  Net.send net ~src:0 ~dst:1 ~size:1000 (fun () -> t3 := Engine.now e);
+  Engine.run e;
+  Alcotest.(check bool) "factors 1.0 restore nominal delay" true
+    (feq (!t3 -. !t2) 0.101)
+
+let fault_suite =
+  [
+    Alcotest.test_case "net oneway partition" `Quick test_net_oneway_partition;
+    Alcotest.test_case "net heal_between targeted" `Quick test_net_heal_between_targeted;
+    Alcotest.test_case "net drop accounting" `Quick test_net_drop_accounting;
+    Alcotest.test_case "net per-link loss" `Quick test_net_link_loss_directed;
+    Alcotest.test_case "net duplication" `Quick test_net_duplication;
+    Alcotest.test_case "net delay/bandwidth factors" `Quick
+      test_net_delay_and_bandwidth_factors;
+  ]
+
+let suite = base_suite @ queued_suite @ traffic_suite @ fault_suite
