@@ -18,6 +18,8 @@
      dune exec bench/main.exe -- --no-micro   # skip Bechamel
      dune exec bench/main.exe -- E3 E12       # a subset, by id or name
      dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR4.json
+     dune exec bench/main.exe -- --pr6        # batched-sync kernels -> BENCH_PR6.json
+     dune exec bench/main.exe -- --compare A.json B.json  # per-kernel speedups
      dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard)
      dune exec bench/main.exe -- -j 4         # run experiments/kernels on a
                                               # 4-domain pool *)
@@ -454,11 +456,266 @@ let scaling_kernels ~jobs () =
     results
   end
 
+(* ------------------------------------------------------------------ *)
+(* PR6 kernels: batched delta anti-entropy vs per-write transfers      *)
+
+(* End-to-end traffic under each sync mode, same workload: a tight NE bound
+   (every write overruns it, so every write triggers a push to every peer)
+   fed by a millisecond-spaced write train.  Per-write mode ships one
+   Transfer per trigger; batched mode coalesces everything inside a flush
+   window into one frame per peer.  The message/byte counts are the wire
+   story; the run must converge in both modes. *)
+type sync_traffic = {
+  st_messages : int;
+  st_bytes : int;
+  st_max_frame : int;
+  st_batches : int;
+  st_seconds : float;
+}
+
+let run_sync_traffic ~sync ~writes () =
+  let open Tact_sim in
+  let open Tact_replica in
+  let open Tact_store in
+  let topology = Topology.uniform ~n:4 ~latency:0.02 ~bandwidth:1e8 in
+  let config =
+    {
+      Config.default with
+      Config.conits = [ Tact_core.Conit.declare ~ne_bound:1.0 "c" ];
+      antientropy_period = Some 1.0;
+      sync;
+      batch_flush = 0.05;
+    }
+  in
+  let sys = System.create ~seed:6 ~jitter:0.02 ~topology ~config () in
+  let engine = System.engine sys in
+  for k = 1 to writes do
+    Engine.schedule engine ~delay:(0.001 *. float_of_int k) (fun () ->
+        Replica.submit_write (System.replica sys 0) ~deps:[]
+          ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Add ("x", 1.0))
+          ~k:ignore)
+  done;
+  let t0 = Unix.gettimeofday () in
+  System.run ~until:((0.001 *. float_of_int writes) +. 10.0) sys;
+  let dt = Unix.gettimeofday () -. t0 in
+  assert (System.converged sys);
+  let tr = System.traffic sys in
+  {
+    st_messages = tr.Net.messages;
+    st_bytes = tr.Net.bytes;
+    st_max_frame = tr.Net.max_message;
+    st_batches = (System.total_stats sys).Replica.batches;
+    st_seconds = dt;
+  }
+
+(* Encode-path allocations per sync round: the same round payload pushed
+   through (a) the naive path — a fresh buffer per write, as the per-write
+   mode would serialise — and (b) the reusable [Codec.Frame] arena, one
+   buffer for the whole run, one [contents] handoff per round.  Buffer
+   allocations are counted directly: one per [write_to_string] call on the
+   naive path, [Frame.allocations] (initial + growths, amortised zero) on
+   the arena path. *)
+type round_alloc = {
+  ra_rounds : int;
+  ra_per_round : int;
+  ra_naive_allocs : int;
+  ra_arena_allocs : int;
+  ra_naive_seconds : float;
+  ra_arena_seconds : float;
+}
+
+let kernel_round_alloc ~rounds ~per_round () =
+  let open Tact_store in
+  let mk seq =
+    Write.make
+      ~id:{ Write.origin = 0; seq }
+      ~accept_time:(0.001 *. float_of_int seq)
+      ~op:(Op.Add ("x", 1.0))
+      ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+  in
+  let round r = List.init per_round (fun i -> mk ((r * per_round) + i + 1)) in
+  let naive_allocs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let sink = ref 0 in
+  for r = 0 to rounds - 1 do
+    List.iter
+      (fun w ->
+        incr naive_allocs;
+        sink := !sink + String.length (Codec.write_to_string w))
+      (round r)
+  done;
+  let naive_s = Unix.gettimeofday () -. t0 in
+  let frame = Codec.Frame.create () in
+  let t1 = Unix.gettimeofday () in
+  for r = 0 to rounds - 1 do
+    Codec.Frame.clear frame;
+    List.iter (fun w -> Codec.encode_write frame w) (round r);
+    sink := !sink + String.length (Codec.Frame.contents frame)
+  done;
+  let arena_s = Unix.gettimeofday () -. t1 in
+  assert (!sink > 0);
+  {
+    ra_rounds = rounds;
+    ra_per_round = per_round;
+    ra_naive_allocs = !naive_allocs;
+    ra_arena_allocs = Codec.Frame.allocations frame;
+    ra_naive_seconds = naive_s;
+    ra_arena_seconds = arena_s;
+  }
+
+let pr6_json_report ~cores ~pw ~bt ~ra =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"cores\": %d,\n  \"ocaml_version\": %S,\n" cores
+       Sys.ocaml_version);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"kernels\": [\n\
+       \    {\"name\": \"sync_traffic_per_write\", \"n\": %d, \"seconds\": \
+        %.6f},\n\
+       \    {\"name\": \"sync_traffic_batched\", \"n\": %d, \"seconds\": \
+        %.6f},\n\
+       \    {\"name\": \"round_encode_naive\", \"n\": %d, \"seconds\": %.6f},\n\
+       \    {\"name\": \"round_encode_arena\", \"n\": %d, \"seconds\": %.6f}\n\
+       \  ],\n"
+       pw.st_messages pw.st_seconds bt.st_messages bt.st_seconds
+       (ra.ra_rounds * ra.ra_per_round)
+       ra.ra_naive_seconds
+       (ra.ra_rounds * ra.ra_per_round)
+       ra.ra_arena_seconds);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sync_traffic\": {\"per_write_messages\": %d, \"batched_messages\": \
+        %d, \"message_reduction\": %.1f, \"per_write_bytes\": %d, \
+        \"batched_bytes\": %d, \"byte_reduction\": %.1f, \"batched_frames\": \
+        %d, \"batched_max_frame\": %d},\n"
+       pw.st_messages bt.st_messages
+       (float_of_int pw.st_messages /. float_of_int (max 1 bt.st_messages))
+       pw.st_bytes bt.st_bytes
+       (float_of_int pw.st_bytes /. float_of_int (max 1 bt.st_bytes))
+       bt.st_batches bt.st_max_frame);
+  let per_round n = float_of_int n /. float_of_int ra.ra_rounds in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"round_alloc\": {\"rounds\": %d, \"writes_per_round\": %d, \
+        \"naive_allocs_per_round\": %.2f, \"arena_allocs_per_round\": %.4f, \
+        \"alloc_reduction\": %.1f, \"naive_round_ns\": %.0f, \
+        \"arena_round_ns\": %.0f}\n}\n"
+       ra.ra_rounds ra.ra_per_round
+       (per_round ra.ra_naive_allocs)
+       (per_round ra.ra_arena_allocs)
+       (float_of_int ra.ra_naive_allocs
+       /. Float.max (float_of_int ra.ra_arena_allocs) 1e-9)
+       (ra.ra_naive_seconds *. 1e9 /. float_of_int ra.ra_rounds)
+       (ra.ra_arena_seconds *. 1e9 /. float_of_int ra.ra_rounds));
+  Buffer.contents b
+
+let run_pr6 ~path =
+  Printf.printf "Batched anti-entropy kernels (PR6)\n%s\n" (String.make 78 '-');
+  let pw = run_sync_traffic ~sync:Tact_replica.Config.Per_write ~writes:600 () in
+  let bt = run_sync_traffic ~sync:Tact_replica.Config.Batched ~writes:600 () in
+  Printf.printf
+    "%-28s per-write %7d msgs %9d B   batched %5d msgs %8d B  (%.1fx / %.1fx)\n%!"
+    "sync_traffic" pw.st_messages pw.st_bytes bt.st_messages bt.st_bytes
+    (float_of_int pw.st_messages /. float_of_int (max 1 bt.st_messages))
+    (float_of_int pw.st_bytes /. float_of_int (max 1 bt.st_bytes));
+  let ra = kernel_round_alloc ~rounds:2_000 ~per_round:24 () in
+  Printf.printf
+    "%-28s naive %.1f allocs/round   arena %.4f allocs/round  (%.0fx)\n%!"
+    "round_alloc"
+    (float_of_int ra.ra_naive_allocs /. float_of_int ra.ra_rounds)
+    (float_of_int ra.ra_arena_allocs /. float_of_int ra.ra_rounds)
+    (float_of_int ra.ra_naive_allocs
+    /. Float.max (float_of_int ra.ra_arena_allocs) 1e-9);
+  Printf.printf "%-28s naive %8.0f ns/round   arena %8.0f ns/round\n%!"
+    "round_latency"
+    (ra.ra_naive_seconds *. 1e9 /. float_of_int ra.ra_rounds)
+    (ra.ra_arena_seconds *. 1e9 /. float_of_int ra.ra_rounds);
+  let cores = Domain.recommended_domain_count () in
+  let oc = open_out path in
+  output_string oc (pr6_json_report ~cores ~pw ~bt ~ra);
+  close_out oc;
+  Printf.printf "wrote %s (cores=%d, ocaml %s)\n" path cores Sys.ocaml_version
+
+(* ------------------------------------------------------------------ *)
+(* --compare: per-kernel speedup between two bench json files          *)
+
+(* Minimal scanner for the bench json we emit ourselves: pull each kernel
+   object's "name" and "seconds".  Not a general JSON parser — enough for
+   files this harness wrote. *)
+let parse_kernels path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let out = ref [] in
+  let n = String.length src in
+  let find_from sub i =
+    let sl = String.length sub in
+    let rec go k =
+      if k + sl > n then None
+      else if String.sub src k sl = sub then Some k
+      else go (k + 1)
+    in
+    go i
+  in
+  let rec scan i =
+    match find_from "\"name\":" i with
+    | None -> ()
+    | Some k -> (
+      match String.index_from_opt src k '"' with
+      | None -> ()
+      | Some _ -> (
+        let q1 = String.index_from src (k + 7) '"' in
+        let q2 = String.index_from src (q1 + 1) '"' in
+        let name = String.sub src (q1 + 1) (q2 - q1 - 1) in
+        match find_from "\"seconds\":" q2 with
+        | None -> ()
+        | Some s ->
+          let v = ref (s + 10) in
+          while !v < n && src.[!v] = ' ' do incr v done;
+          let e = ref !v in
+          while
+            !e < n
+            && (match src.[!e] with
+               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+               | _ -> false)
+          do
+            incr e
+          done;
+          out := (name, float_of_string (String.sub src !v (!e - !v))) :: !out;
+          scan !e))
+  in
+  scan 0;
+  List.rev !out
+
+let run_compare a b =
+  let ka = parse_kernels a and kb = parse_kernels b in
+  Printf.printf "%-28s %12s %12s %9s\n" "kernel" (Filename.basename a)
+    (Filename.basename b) "speedup";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (name, sa) ->
+      match List.assoc_opt name kb with
+      | None -> Printf.printf "%-28s %10.3f s %12s\n" name sa "(missing)"
+      | Some sb ->
+        Printf.printf "%-28s %10.3f s %10.3f s %8.2fx\n" name sa sb
+          (sa /. Float.max sb 1e-9))
+    ka;
+  List.iter
+    (fun (name, sb) ->
+      if not (List.mem_assoc name ka) then
+        Printf.printf "%-28s %12s %10.3f s\n" name "(missing)" sb)
+    kb
+
 let json_report ~cores ~jobs ~kernels ~ws ~ps =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
-    (Printf.sprintf "{\n  \"cores\": %d,\n  \"jobs\": %d,\n  \"kernels\": [\n"
-       cores jobs);
+    (Printf.sprintf
+       "{\n  \"cores\": %d,\n  \"ocaml_version\": %S,\n  \"jobs\": %d,\n\
+       \  \"kernels\": [\n"
+       cores Sys.ocaml_version jobs);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -532,6 +789,8 @@ let run_smoke ~jobs =
     (pool_scaling
        ~jobs_list:[ 1; max 1 jobs ]
        ~preemptions:1 ~max_schedules:50 ());
+  ignore (run_sync_traffic ~sync:Tact_replica.Config.Batched ~writes:40 ());
+  ignore (kernel_round_alloc ~rounds:20 ~per_round:8 ());
   print_endline "bench smoke ok"
 
 let () =
@@ -549,6 +808,15 @@ let () =
   let no_micro = List.mem "--no-micro" args in
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
+  let pr6 = List.mem "--pr6" args in
+  let compare_files =
+    match args with
+    | "--compare" :: a :: b :: _ -> Some (a, b)
+    | _ -> if List.mem "--compare" args then (
+        prerr_endline "usage: bench --compare A.json B.json";
+        exit 2)
+      else None
+  in
   let out =
     List.fold_left
       (fun acc a ->
@@ -562,7 +830,12 @@ let () =
   let only =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
+  match compare_files with
+  | Some (a, b) -> run_compare a b
+  | None ->
   if smoke then run_smoke ~jobs:!jobs
+  else if pr6 then
+    run_pr6 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR6.json" else out)
   else if json then run_json ~path:out ~jobs:!jobs
   else begin
     run_experiments ~quick:(not full) ~jobs:!jobs ~only;

@@ -58,6 +58,11 @@ let rules =
         "raw Domain/Mutex/Condition/Atomic use belongs in lib/util (Pool, \
          Sync); route concurrency through those wrappers so locking \
          discipline lives in one place" };
+    { rule_name = "alloc-hot-path";
+      explain =
+        "per-call buffer allocation on a hot path; encode through the \
+         reusable Codec.Frame arena (one buffer per replica, grown in \
+         place), or annotate a cold path" };
   ]
 
 type finding = { file : string; line : int; frule : rule; snippet : string }
@@ -120,6 +125,11 @@ let strip src =
         let c = src.[!i] in
         bump c;
         if c = '\\' && !i + 1 < n then begin
+          (* the escaped character may itself be a newline (string
+             line-continuation): it must still advance the line counter, or
+             every comment recorded after it lands one line short and
+             allow-annotations stop covering their targets *)
+          bump src.[!i + 1];
           blank !i;
           blank (!i + 1);
           i := !i + 2
@@ -464,11 +474,19 @@ let in_dir path dir =
   done;
   !found
 
-let check_line ~floats ~modstate line =
+let check_line ~floats ~modstate ~allochot line =
   let hits = ref [] in
   let add r = hits := rule r :: !hits in
   if floats && float_equal_hit line then add "float-equal";
   if modstate && module_state_hit line then add "module-state";
+  (* Wire hot paths (store codecs, simulated network): every message send
+     runs these, so per-call [Bytes.create]/[Buffer.create] is churn the
+     Frame arena exists to eliminate. *)
+  if
+    allochot
+    && (has_token ~qualified:true line "Bytes.create"
+       || has_token ~qualified:true line "Buffer.create")
+  then add "alloc-hot-path";
   if bare_compare line || has_token ~qualified:true line "Stdlib.compare" then
     add "polymorphic-compare";
   if has_token ~qualified:true line "Hashtbl.iter" then add "hashtbl-iter";
@@ -524,6 +542,7 @@ let lint_file findings path =
     || in_dir path "lib/protocols" || in_dir path "lib/check"
   in
   let modstate = not (in_dir path "lib/util") in
+  let allochot = in_dir path "lib/store" || in_dir path "lib/sim" in
   List.iteri
     (fun idx line ->
       let lno = idx + 1 in
@@ -537,7 +556,7 @@ let lint_file findings path =
             findings :=
               { file = path; line = lno; frule = r; snippet = String.trim line }
               :: !findings)
-        (check_line ~floats ~modstate line))
+        (check_line ~floats ~modstate ~allochot line))
     lines
 
 let rec walk findings path =

@@ -1,0 +1,142 @@
+open Tact_util
+open Tact_sim
+open Tact_store
+open Tact_replica
+
+type row = {
+  replicas : int;
+  writes : int;
+  keep : int;
+  virtual_s : float;
+  messages : int;
+  bytes : int;
+  max_frame : int;
+  batches : int;
+  snapshots : int;
+  max_retained : int;
+  max_known : int;
+  converged : bool;
+  heap_mb : float;
+}
+
+(* One scale point: [n] replicas on a gossip ring, [total] writes from
+   [writers] adjacent replicas at the ring head, batched sync, truncation
+   horizon [keep], bounded log.
+
+   The ring (fanout 1) is what makes 100 replicas tractable: every write
+   crosses each replica boundary exactly once, so the system-wide transfer
+   work is [n * total] write deliveries — the epidemic minimum for full
+   replication — instead of the all-pairs flood a round-robin plan produces.
+   Clustering the writers matters just as much: downstream of the cluster,
+   frames arrive already in timestamp order, so every insert is an
+   append — no positional rollback/replay, whose cost would otherwise grow
+   with the ring delay.  Covers (and hence stability commitment) ride every
+   frame, so the commit lag is one ring circumference and the tentative
+   suffix stays bounded by [rate * lag] regardless of how long the run is. *)
+let run_one ~n ~writers ~total ~keep ~sample =
+  let rate = 1000.0 in
+  let duration = float_of_int total /. (float_of_int writers *. rate) in
+  let drain = 90.0 in
+  let topology = Topology.uniform ~n ~latency:0.02 ~bandwidth:1e9 in
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.1;
+      truncate_keep = Some keep;
+      sync = Config.Batched;
+      batch_flush = 0.05;
+      record_accesses = false;
+      bounded_log = true;
+      gossip_plan = Some (fun i -> [| (i + 1) mod n |]);
+    }
+  in
+  let sys = System.create ~seed:22 ~jitter:0.02 ~track_writes:false ~topology ~config () in
+  let engine = System.engine sys in
+  let rng = Prng.create ~seed:220 in
+  let submitted = ref 0 in
+  for i = 0 to writers - 1 do
+    let prng = Prng.split rng in
+    Tact_workload.Workload.poisson engine ~rng:prng ~rate ~until:duration
+      (fun () ->
+        if !submitted < total then begin
+          incr submitted;
+          let k = !submitted in
+          Replica.submit_write (System.replica sys i) ~deps:[]
+            ~affects:[ { Write.conit = "c"; nweight = 1.0; oweight = 1.0 } ]
+            ~op:(Op.Add ("x" ^ string_of_int (k mod 64), 1.0))
+            ~k:ignore
+        end)
+  done;
+  (* Periodic memory probe: the retained committed prefix must track the
+     truncation horizon, and the total held writes (retained + tentative)
+     must stay bounded by horizon + commit lag — never by the run length. *)
+  let max_retained = ref 0 and max_known = ref 0 in
+  Engine.every engine ~period:sample (fun () ->
+      for i = 0 to n - 1 do
+        let log = Replica.log (System.replica sys i) in
+        max_retained := max !max_retained (Wlog.retained log);
+        max_known := max !max_known (Wlog.num_known log)
+      done;
+      Engine.now engine < duration +. drain);
+  System.run ~until:(duration +. drain) sys;
+  let traffic = System.traffic sys in
+  let stats = System.total_stats sys in
+  {
+    replicas = n;
+    writes = !submitted;
+    keep;
+    virtual_s = Engine.now engine;
+    messages = traffic.Net.messages;
+    bytes = traffic.Net.bytes;
+    max_frame = traffic.Net.max_message;
+    batches = stats.Replica.batches;
+    snapshots = stats.Replica.snapshots_installed;
+    max_retained = !max_retained;
+    max_known = !max_known;
+    converged = System.converged sys;
+    heap_mb =
+      (* Live heap after a full collection: the honest bounded-memory
+         number.  (Peak heap is dominated by GC headroom under this
+         allocation rate — measured live-after-major is ~0 even when the
+         peak tops 500 MB.) *)
+      (Gc.full_major ();
+       float_of_int ((Gc.stat ()).Gc.live_words * (Sys.word_size / 8)) /. 1e6);
+  }
+
+let points ~quick =
+  if quick then [ (24, 1, 30_000, 500); (24, 1, 30_000, 2_000) ]
+  else
+    [
+      (50, 1, 250_000, 1_000); (100, 1, 250_000, 5_000);
+      (100, 1, 1_000_000, 1_000);
+    ]
+
+let run ?(quick = false) () =
+  let tbl =
+    Table.create
+      ~title:
+        "E22 — batched anti-entropy at scale (gossip ring, stability \
+         commitment, bounded log)"
+      ~columns:
+        [ "replicas"; "writes"; "keep"; "virt-s"; "msgs"; "MB"; "max frame";
+          "batches"; "snapshots"; "max retained"; "max known"; "live MB";
+          "converged" ]
+  in
+  List.iter
+    (fun (n, writers, total, keep) ->
+      let r = run_one ~n ~writers ~total ~keep ~sample:(if quick then 1.0 else 5.0) in
+      Table.add_row tbl
+        [ string_of_int r.replicas; string_of_int r.writes;
+          string_of_int r.keep; Printf.sprintf "%.0f" r.virtual_s;
+          string_of_int r.messages;
+          Printf.sprintf "%.1f" (float_of_int r.bytes /. 1e6);
+          string_of_int r.max_frame; string_of_int r.batches;
+          string_of_int r.snapshots; string_of_int r.max_retained;
+          string_of_int r.max_known; Printf.sprintf "%.0f" r.heap_mb;
+          string_of_bool r.converged ])
+    (points ~quick);
+  Table.render tbl
+  ^ "expected: every point converges; the retained committed prefix stays at \
+     the truncation horizon (max retained <= keep + one commit round) and \
+     total held writes stay bounded by horizon + commit lag — per-replica \
+     memory is independent of the number of writes in the run.\n"

@@ -1,0 +1,35 @@
+(** E22 — extension: batched anti-entropy at 100-replica / million-write
+    scale.
+
+    The stress test behind the batched sync mode: a gossip ring of 100
+    replicas absorbs a million writes under a fixed truncation horizon, with
+    the bounded write log ({!Tact_replica.Config.bounded_log}), access
+    recording off, and the omniscient write registry disabled — every
+    memory sink that grows with run length closed.  Reports wire traffic
+    (messages, bytes, peak frame), batching and snapshot counters, and the
+    memory probe: the maximum retained committed prefix and maximum held
+    writes observed anywhere during the run.  Correctness bar: every point
+    converges and per-replica log memory is bounded by the truncation
+    horizon plus the commit lag, independent of the total write count. *)
+
+type row = {
+  replicas : int;
+  writes : int;
+  keep : int;
+  virtual_s : float;
+  messages : int;
+  bytes : int;
+  max_frame : int;
+  batches : int;
+  snapshots : int;
+  max_retained : int;
+  max_known : int;
+  converged : bool;
+  heap_mb : float;
+}
+
+val run_one : n:int -> writers:int -> total:int -> keep:int -> sample:float -> row
+(** One scale point ([writers] adjacent ring-head replicas originate all
+    writes), exposed for the smoke test and the bench. *)
+
+val run : ?quick:bool -> unit -> string

@@ -133,6 +133,12 @@ let all =
       paper_artifact = "extension: topology-aware gossip plans";
       run = E21_gossip.run;
     };
+    {
+      id = "E22";
+      name = "scale";
+      paper_artifact = "extension: batched anti-entropy at 100-replica scale";
+      run = E22_scale.run;
+    };
   ]
 
 let run_all ?(jobs = 1) ?quick () =

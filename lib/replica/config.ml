@@ -1,5 +1,16 @@
 type commit_scheme = Stability | Primary of int
 
+(* How anti-entropy traffic is shipped.  [Per_write] is the paper-literal
+   path: every sync event emits its own Transfer message.  [Batched]
+   coalesces a replica's pushes and pull replies into one framed batch per
+   peer per flush window ({!field-batch_flush}), delta-encoded against the
+   peer's vector through the {!Tact_store.Batch} codec — the payload really
+   is serialised, so batched configurations need wire-serialisable ops
+   ({!Tact_store.Op.Named}, not [Op.Proc] closures).  Both modes reach the
+   same replica databases; batched trades a bounded flush delay for far
+   fewer, larger messages. *)
+type sync_mode = Per_write | Batched
+
 type t = {
   conits : Tact_core.Conit.t list;
   commit_scheme : commit_scheme;
@@ -10,6 +21,17 @@ type t = {
   initial_db : (string * Tact_store.Value.t) list;
   trace : Tact_util.Trace.t option;
   gossip_plan : (int -> int array) option;
+  sync : sync_mode;
+  batch_flush : float;
+      (* debounce window: a peer marked dirty is flushed one batch this long
+         after the first mark (Batched mode only) *)
+  record_accesses : bool;
+      (* capture per-access observation records (the verifier's food); off
+         for long bounded-memory runs, where they grow without bound *)
+  bounded_log : bool;
+      (* bound per-replica log memory by the truncation horizon: disables
+         the commit journal and evicts truncated writes' side-table entries
+         (see Wlog.create_bounded); requires record_accesses = false *)
   fault_oe_slack : float;
   fault_crash_replay : bool;
 }
@@ -25,6 +47,10 @@ let default =
     initial_db = [];
     trace = None;
     gossip_plan = None;
+    sync = Per_write;
+    batch_flush = 0.05;
+    record_accesses = true;
+    bounded_log = false;
     fault_oe_slack = 0.0;
     fault_crash_replay = false;
   }
@@ -66,6 +92,11 @@ let validate ~n t =
         if t.retry_period <= 0.0 then err "retry period must be positive"
         else if (match t.truncate_keep with Some k -> k < 0 | None -> false)
         then err "truncate_keep must be non-negative"
+        else if t.sync = Batched && t.batch_flush <= 0.0 then
+          err "batch_flush must be positive in Batched sync mode"
+        else if t.bounded_log && t.record_accesses then
+          err "bounded_log requires record_accesses = false (observation \
+               capture needs the commit journal)"
         else begin
           let names = List.map (fun c -> c.Tact_core.Conit.name) t.conits in
           if List.length (List.sort_uniq String.compare names) <> List.length names

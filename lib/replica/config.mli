@@ -13,6 +13,21 @@ type commit_scheme =
           committed order is not in general compatible with external order
           (1SR, not 1SR+EXT).  Ablation E12 compares the two. *)
 
+(** How anti-entropy traffic is shipped. *)
+type sync_mode =
+  | Per_write
+      (** The paper-literal path: every sync event (budget push, retry,
+          gossip tick, pull reply) emits its own [Transfer] message. *)
+  | Batched
+      (** Coalesced framed batches: a replica marks a peer dirty instead of
+          sending immediately, and one {!Tact_store.Batch} frame — delta
+          against the peer's last-known vector, or a snapshot fallback when
+          the log has truncated past it — is flushed per dirty peer per
+          {!field-batch_flush} window.  Payloads are truly serialised through
+          {!Tact_store.Codec.Frame}, so ops must be wire-serialisable
+          ([Op.Named], not [Op.Proc] closures).  Same final databases as
+          [Per_write]; far fewer, larger messages. *)
+
 type t = {
   conits : Tact_core.Conit.t list;
       (** declared conits; any conit not listed is treated as unconstrained *)
@@ -40,6 +55,20 @@ type t = {
           [None] means round-robin over every peer.  Topology-aware plans
           (e.g. mostly-LAN gossip with designated WAN bridges) cut wide-area
           traffic — experiment E21. *)
+  sync : sync_mode;  (** anti-entropy shipping mode; default [Per_write] *)
+  batch_flush : float;
+      (** [Batched] only: the debounce window (seconds) between a peer first
+          becoming dirty and its coalesced batch frame being flushed *)
+  record_accesses : bool;
+      (** capture per-access observation records ({!Replica.records}, the
+          consistency verifier's input).  Default [true]; disable for long
+          bounded-memory runs — the records grow with every access,
+          forever. *)
+  bounded_log : bool;
+      (** bound per-replica log memory by the truncation horizon: the write
+          log drops its append-only commit journal and evicts truncated
+          writes' side-table entries ({!Tact_store.Wlog.create_bounded}).
+          Requires [record_accesses = false]; pair with [truncate_keep]. *)
   fault_oe_slack : float;
       (** fault-injection knob for checker validation only: extra order-error
           slack the accept path wrongly grants (a planted off-by-[slack] bug).

@@ -26,6 +26,10 @@ type msg =
     }
   | Pull_req of { from : int; vector : Version_vector.t; csn_known : int; round : int }
   | Ack of { from : int; vector : Version_vector.t; csn_known : int }
+  | Batch_frame of string
+      (** one {!Tact_store.Batch} frame, actually serialised — header, CSN
+          slice, vector, cover and delta/snapshot payload in a single
+          message (Batched sync mode) *)
 
 type round_state = {
   mutable remaining : int;
@@ -81,6 +85,7 @@ type stats = {
   snapshots_sent : int;
   snapshots_installed : int;
   timeouts : int;
+  batches : int;
 }
 
 type t = {
@@ -118,6 +123,10 @@ type t = {
   on_accept : (Write.t -> Version_vector.t -> unit) option;
   mutable records : Access.t list;
   mutable retry_running : bool;
+  frame : Codec.Frame.t;
+      (* reusable encode arena for batched sync: cleared and refilled once
+         per outgoing frame, so steady state allocates nothing *)
+  dirty : bool array;  (* per peer: a coalesced batch flush is scheduled *)
   (* stats *)
   mutable s_pushes_budget : int;
   mutable s_pulls_ne : int;
@@ -128,6 +137,7 @@ type t = {
   mutable s_snapshots_sent : int;
   mutable s_snapshots_installed : int;
   mutable s_timeouts : int;
+  mutable s_batches : int;
 }
 
 let create ~id ~n ~net ~config ?on_accept () =
@@ -137,7 +147,11 @@ let create ~id ~n ~net ~config ?on_accept () =
     net;
     engine = Net.engine net;
     cfg = config;
-    wlog = Wlog.create ~replicas:n ~initial:config.Config.initial_db;
+    wlog =
+      Wlog.create_bounded
+        ~journal:(not config.Config.bounded_log)
+        ~evict_outcomes:config.Config.bounded_log ~replicas:n
+        ~initial:config.Config.initial_db;
     cover = Array.make n 0.0;
     acked = Array.init n (fun _ -> Version_vector.create n);
     acked_csn = Array.make n 0;
@@ -165,6 +179,8 @@ let create ~id ~n ~net ~config ?on_accept () =
     on_accept;
     records = [];
     retry_running = false;
+    frame = Codec.Frame.create ();
+    dirty = Array.make n false;
     s_pushes_budget = 0;
     s_pulls_ne = 0;
     s_pulls_oe = 0;
@@ -174,6 +190,7 @@ let create ~id ~n ~net ~config ?on_accept () =
     s_snapshots_sent = 0;
     s_snapshots_installed = 0;
     s_timeouts = 0;
+    s_batches = 0;
   }
 
 let trace t ~kind detail =
@@ -237,6 +254,7 @@ let stats t =
     snapshots_sent = t.s_snapshots_sent;
     snapshots_installed = t.s_snapshots_installed;
     timeouts = t.s_timeouts;
+    batches = t.s_batches;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -256,6 +274,7 @@ let msg_size n = function
     + (2 * 8 * n) + 64
   | Pull_req _ -> (8 * n) + 16
   | Ack _ -> (8 * n) + 16
+  | Batch_frame s -> String.length s
 
 (* A crashed replica neither processes nor emits messages: its network
    activity looks exactly like loss to its peers.  The write log itself is
@@ -308,6 +327,61 @@ and make_transfer t ~dst ~kind =
         rate = t.rate_ewma;
         kind;
       }
+
+(* One framed batch for a peer believed to hold [peer_vector]: delta when
+   the log can still serve it, snapshot fallback when truncation has passed
+   the peer.  Encoded for real through the reusable frame arena — exact size
+   preallocated, so steady state is one (amortised zero) allocation per
+   frame. *)
+and make_batch t ~peer_vector ~csn_start ~kind =
+  let b =
+    Batch.plan ~log:t.wlog ~peer_vector (fun payload ->
+        (match payload with
+        | Batch.Full _ -> t.s_snapshots_sent <- t.s_snapshots_sent + 1
+        | Batch.Delta _ -> ());
+        {
+          Batch.from = t.rid;
+          kind;
+          vector = Version_vector.copy (Wlog.vector t.wlog);
+          cover = my_cover t;
+          csn_start;
+          csn = Csn_buffer.slice_from t.csn csn_start;
+          rate = t.rate_ewma;
+          payload;
+        })
+  in
+  Codec.Frame.clear t.frame;
+  Batch.encode t.frame b;
+  t.s_batches <- t.s_batches + 1;
+  Batch_frame (Codec.Frame.contents t.frame)
+
+(* Coalescing: instead of sending immediately, mark the peer dirty and flush
+   one batch per peer per flush window.  Every sync trigger that fires inside
+   the window rides the same frame — this is where the per-write message
+   flood collapses. *)
+and flush_batch t dst =
+  if t.dirty.(dst) then begin
+    t.dirty.(dst) <- false;
+    if t.up then
+      send t ~dst
+        (make_batch t ~peer_vector:t.acked.(dst) ~csn_start:t.acked_csn.(dst)
+           ~kind:Batch.Push)
+  end
+
+and mark_dirty t dst =
+  if not t.dirty.(dst) then begin
+    t.dirty.(dst) <- true;
+    Engine.schedule t.engine
+      ~label:{ Engine.actor = t.rid; tag = "batch" }
+      ~delay:t.cfg.Config.batch_flush (fun () -> flush_batch t dst)
+  end
+
+(* Sync-mode dispatch for every push-shaped trigger (budget pushes, retries,
+   gossip): immediate per-write transfer, or a coalesced batch mark. *)
+and push_to t ~dst =
+  match t.cfg.Config.sync with
+  | Config.Per_write -> send t ~dst (make_transfer t ~dst ~kind:`Push)
+  | Config.Batched -> mark_dirty t dst
 
 and transfer_reply t ~req_vector ~csn_known ~round =
   if not (Wlog.can_serve t.wlog req_vector) then snapshot_msg t ~round
@@ -504,12 +578,19 @@ and deps_satisfied t p =
    (their deque mutates), but that cost is bounded by the commit lag, not by
    history. *)
 and capture_observation t =
-  let vector = Version_vector.copy (Wlog.vector t.wlog) in
-  let tentative = Wlog.tentative_ids t.wlog in
-  let lo, hi = Wlog.commit_cursor t.wlog in
-  let wlog = t.wlog in
-  let local = lazy (Wlog.commit_slice wlog ~lo ~hi @ tentative) in
-  (vector, tentative, local)
+  if not t.cfg.Config.record_accesses then
+    (* Records are discarded (see the guards at the record sites), so skip
+       the vector copy, tentative-id walk and journal cursor — the cursor is
+       unavailable anyway when the journal is off (bounded_log). *)
+    (Version_vector.create 0, [], lazy [])
+  else begin
+    let vector = Version_vector.copy (Wlog.vector t.wlog) in
+    let tentative = Wlog.tentative_ids t.wlog in
+    let lo, hi = Wlog.commit_cursor t.wlog in
+    let wlog = t.wlog in
+    let local = lazy (Wlog.commit_slice wlog ~lo ~hi @ tentative) in
+    (vector, tentative, local)
+  end
 
 and access_record t ~kind ~obs:(vector, tentative, local) ~submit ~serve
     ~return_t ~deps ~result =
@@ -533,10 +614,11 @@ and serve_read t p f k =
   if nw > p.p_submit then
     trace t ~kind:"served"
       (Printf.sprintf "read after %.3fs wait" (nw -. p.p_submit));
-  t.records <-
-    access_record t ~kind:Access.Read ~obs ~submit:p.p_submit ~serve:nw
-      ~return_t:nw ~deps:p.p_deps ~result
-    :: t.records;
+  if t.cfg.Config.record_accesses then
+    t.records <-
+      access_record t ~kind:Access.Read ~obs ~submit:p.p_submit ~serve:nw
+        ~return_t:nw ~deps:p.p_deps ~result
+      :: t.records;
   k result
 
 and serve_write t p op affects k =
@@ -567,7 +649,8 @@ and serve_write t p op affects k =
   in
   let over = over_budget_peers t w in
   if over = [] && not wait_commit then begin
-    t.records <- record serve outcome :: t.records;
+    if t.cfg.Config.record_accesses then
+      t.records <- record serve outcome :: t.records;
     k outcome
   end
   else begin
@@ -577,7 +660,7 @@ and serve_write t p op affects k =
     List.iter
       (fun j ->
         t.s_pushes_budget <- t.s_pushes_budget + 1;
-        send t ~dst:j (make_transfer t ~dst:j ~kind:`Push))
+        push_to t ~dst:j)
       over;
     if wait_commit then
       for j = 0 to t.n - 1 do
@@ -709,7 +792,7 @@ and trigger_syncs t p =
     | Config.Primary prim ->
       if t.rid = prim then commit_progress t
       else begin
-        send t ~dst:prim (make_transfer t ~dst:prim ~kind:`Push);
+        push_to t ~dst:prim;
         send_pull t ~dst:prim ~round:0
       end
   end
@@ -757,7 +840,8 @@ and pump t =
             | _ -> u.u_outcome
           in
           ignore (Queue.pop t.return_queue);
-          t.records <- u.u_record (now t) outcome :: t.records;
+          if t.cfg.Config.record_accesses then
+            t.records <- u.u_record (now t) outcome :: t.records;
           u.u_k outcome;
           drain ()
       end
@@ -783,7 +867,7 @@ and ensure_retry t =
         Queue.iter
           (fun u ->
             List.iter
-              (fun j -> send t ~dst:j (make_transfer t ~dst:j ~kind:`Push))
+              (fun j -> push_to t ~dst:j)
               (over_budget_peers t u.u_write);
             if u.u_wait_commit && Wlog.final_outcome t.wlog u.u_write.id = None
             then
@@ -831,7 +915,16 @@ and process t msg =
   | Pull_req { from; vector; csn_known; round } ->
     note_peer_vector t ~peer:from vector;
     t.acked_csn.(from) <- max t.acked_csn.(from) csn_known;
-    send t ~dst:from (transfer_reply t ~req_vector:vector ~csn_known ~round)
+    (match t.cfg.Config.sync with
+    | Config.Per_write ->
+      send t ~dst:from (transfer_reply t ~req_vector:vector ~csn_known ~round)
+    | Config.Batched ->
+      (* A pull reply is already one message per request; batching frames it
+         (real serialisation, snapshot fallback included) without delaying
+         it — rounds must complete promptly. *)
+      send t ~dst:from
+        (make_batch t ~peer_vector:vector ~csn_start:csn_known
+           ~kind:(Batch.Pull_reply round)))
   | Ack { from; vector; csn_known } ->
     note_peer_vector t ~peer:from vector;
     t.acked_csn.(from) <- max t.acked_csn.(from) csn_known
@@ -862,7 +955,44 @@ and process t msg =
              csn_known = Csn_buffer.known t.csn;
            })
     | `Pull_reply round -> round_reply t ~round ~from
-    | `Gossip -> ()));
+    | `Gossip -> ())
+  | Batch_frame s ->
+    (* Everything in a frame deduplicates on re-application — the write log
+       drops known ids, CSN offers are idempotent, cover/vector merges are
+       pointwise max — so a duplicated or re-delivered frame cannot
+       double-apply. *)
+    let b = Batch.of_string s in
+    let from = b.Batch.from in
+    (match b.Batch.payload with
+    | Batch.Delta writes -> ignore (Wlog.insert_batch t.wlog writes)
+    | Batch.Full (snap, writes) ->
+      if Wlog.install_snapshot t.wlog snap then begin
+        t.s_snapshots_installed <- t.s_snapshots_installed + 1;
+        trace t ~kind:"snapshot"
+          (Printf.sprintf "installed %d committed writes from replica %d"
+             snap.Wlog.snap_ncommitted from);
+        t.csn_committed <- max t.csn_committed snap.Wlog.snap_ncommitted
+      end;
+      ignore (Wlog.insert_batch t.wlog writes));
+    Array.iteri (fun o c -> if c > t.cover.(o) then t.cover.(o) <- c) b.Batch.cover;
+    t.cover.(t.rid) <- now t;
+    t.rates.(from) <- b.Batch.rate;
+    Csn_buffer.offer t.csn ~start:b.Batch.csn_start b.Batch.csn;
+    note_peer_vector t ~peer:from b.Batch.vector;
+    t.acked_csn.(from) <-
+      max t.acked_csn.(from) (b.Batch.csn_start + List.length b.Batch.csn);
+    commit_progress t;
+    (match b.Batch.kind with
+    | Batch.Push ->
+      send t ~dst:from
+        (Ack
+           {
+             from = t.rid;
+             vector = Version_vector.copy (Wlog.vector t.wlog);
+             csn_known = Csn_buffer.known t.csn;
+           })
+    | Batch.Pull_reply round -> round_reply t ~round ~from
+    | Batch.Gossip -> ()));
   pump t;
   sanity_check t
 
@@ -1018,7 +1148,7 @@ let start t =
             let target = ring.(!tick mod Array.length ring) in
             incr tick;
             t.s_gossips <- t.s_gossips + 1;
-            send t ~dst:target (make_transfer t ~dst:target ~kind:`Push)
+            push_to t ~dst:target
           end;
           true)
     end

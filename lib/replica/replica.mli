@@ -40,6 +40,7 @@ type stats = {
                              truncation point *)
   snapshots_installed : int;
   timeouts : int;  (** accesses abandoned at their deadline *)
+  batches : int;  (** coalesced anti-entropy frames sent (Batched sync) *)
 }
 
 val create :

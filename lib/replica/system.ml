@@ -17,7 +17,8 @@ type t = {
   mutable started : bool;
 }
 
-let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ~topology ~config () =
+let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ?(track_writes = true)
+    ~topology ~config () =
   (match Config.validate ~n:topology.Topology.n config with
   | Ok () -> ()
   | Error m -> invalid_arg ("System.create: " ^ m));
@@ -31,11 +32,13 @@ let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ~topology ~config () =
   let n = topology.Topology.n in
   let replicas =
     Array.init n (fun i ->
-        Replica.create ~id:i ~n ~net ~config
-          ~on_accept:(fun w vec ->
-            Hashtbl.replace writes w.Write.id
-              { write = w; accept_vector = vec; return_time = w.Write.accept_time })
-          ())
+        if track_writes then
+          Replica.create ~id:i ~n ~net ~config
+            ~on_accept:(fun w vec ->
+              Hashtbl.replace writes w.Write.id
+                { write = w; accept_vector = vec; return_time = w.Write.accept_time })
+            ()
+        else Replica.create ~id:i ~n ~net ~config ())
   in
   Array.iter (fun r -> Replica.connect r ~peers:(fun j -> replicas.(j))) replicas;
   { engine; net; config; replicas; writes; started = false }
@@ -109,6 +112,7 @@ let total_stats t =
         snapshots_sent = acc.snapshots_sent + s.snapshots_sent;
         snapshots_installed = acc.snapshots_installed + s.snapshots_installed;
         timeouts = acc.timeouts + s.timeouts;
+        batches = acc.batches + s.batches;
       })
     {
       Replica.pushes_budget = 0;
@@ -120,6 +124,7 @@ let total_stats t =
       snapshots_sent = 0;
       snapshots_installed = 0;
       timeouts = 0;
+      batches = 0;
     }
     t.replicas
 

@@ -10,6 +10,7 @@ val create :
   ?seed:int ->
   ?jitter:float ->
   ?loss:float ->
+  ?track_writes:bool ->
   topology:Tact_sim.Topology.t ->
   config:Config.t ->
   unit ->
@@ -17,7 +18,10 @@ val create :
 (** Build and wire the replicas; background activity starts on first [run].
     [jitter] is the fractional random extra latency per message (default
     0.05); [loss] is an independent per-message drop probability (default
-    0). *)
+    0).  [track_writes] (default true) keeps the omniscient per-write
+    registry behind {!all_writes}/{!return_time}/{!accept_vector}; disable it
+    for bounded-memory scale runs, where it grows with every write ever
+    accepted (those accessors then see nothing). *)
 
 val engine : t -> Tact_sim.Engine.t
 val config : t -> Config.t

@@ -4,10 +4,12 @@ type stats = {
   dropped : int;
   dropped_loss : int;
   dropped_cut : int;
+  max_message : int;
 }
 
 let zero_stats =
-  { messages = 0; bytes = 0; dropped = 0; dropped_loss = 0; dropped_cut = 0 }
+  { messages = 0; bytes = 0; dropped = 0; dropped_loss = 0; dropped_cut = 0;
+    max_message = 0 }
 
 (* Per directed link counters, including drops (satellite: traffic_where used
    to read [dropped = 0] because drops were only counted globally). *)
@@ -35,6 +37,7 @@ type t = {
   mutable bytes : int;
   mutable dropped_loss : int;
   mutable dropped_cut : int;
+  mutable max_message : int;
 }
 
 let create engine topo ?jitter ?loss ?(queued = false) () =
@@ -55,6 +58,7 @@ let create engine topo ?jitter ?loss ?(queued = false) () =
     bytes = 0;
     dropped_loss = 0;
     dropped_cut = 0;
+    max_message = 0;
   }
 
 let engine t = t.engine
@@ -102,6 +106,7 @@ let record_drop t src dst ~cut =
 let record_sent t src dst ~size =
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + size;
+  if size > t.max_message then t.max_message <- size;
   let c = counters t src dst in
   c.lc_messages <- c.lc_messages + 1;
   c.lc_bytes <- c.lc_bytes + size
@@ -199,6 +204,7 @@ let stats t =
     dropped = t.dropped_loss + t.dropped_cut;
     dropped_loss = t.dropped_loss;
     dropped_cut = t.dropped_cut;
+    max_message = t.max_message;
   }
 
 let traffic_where t pred =
@@ -220,4 +226,5 @@ let reset_stats t =
   t.bytes <- 0;
   t.dropped_loss <- 0;
   t.dropped_cut <- 0;
+  t.max_message <- 0;
   Hashtbl.reset t.link_traffic

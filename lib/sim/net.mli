@@ -15,6 +15,10 @@ type stats = {
   dropped : int;  (** total messages lost, [dropped_loss + dropped_cut] *)
   dropped_loss : int;  (** dropped by the loss knobs (global or per-link) *)
   dropped_cut : int;  (** dropped because the directed link was partitioned *)
+  max_message : int;
+      (** largest single message sent (bytes) — a proxy for the peak frame
+          size of batched anti-entropy.  Tracked globally only; reads 0 from
+          {!traffic_where}. *)
 }
 
 val create :

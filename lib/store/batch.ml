@@ -1,0 +1,226 @@
+(* Framed anti-entropy batches: one wire frame per sync round, carrying
+   everything the per-write path used to spread over many Transfer messages —
+   the sender's vector and cover, the CSN slice, and either a delta (the
+   writes the receiver's vector proves it lacks) or, when the sender has
+   truncated below the receiver's vector, a full snapshot plus the retained
+   tail.  The header carries per-origin sequence ranges so a receiver (or a
+   relay) can summarise a frame without decoding its payload. *)
+
+let magic = 0xB6
+let version = 1
+
+type kind = Push | Pull_reply of int | Gossip
+
+type payload =
+  | Delta of Write.t list
+  | Full of Wlog.snapshot * Write.t list
+      (** snapshot + retained writes past its vector *)
+
+type t = {
+  from : int;
+  kind : kind;
+  vector : Version_vector.t;
+  cover : float array;
+  csn_start : int;
+  csn : Write.id list;
+  rate : float;
+  payload : t_payload;
+}
+
+and t_payload = payload
+
+type header = {
+  h_from : int;
+  h_kind : kind;
+  h_rate : float;
+  h_csn_start : int;
+  h_ranges : (int * int * int) list;
+      (** (origin, lo, hi): the batch carries origin's writes seq lo..hi *)
+  h_payload : [ `Delta | `Full ];
+}
+
+(* Per-origin contiguous sequence ranges of the carried writes.  Delta writes
+   are exactly the suffix the receiver's vector lacks, so per origin they are
+   contiguous; we compute min/max and leave holes (impossible by
+   construction) to the decoder's write-level dedup. *)
+let ranges_of_writes writes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Write.t) ->
+      let o = w.id.origin and s = w.id.seq in
+      match Hashtbl.find_opt tbl o with
+      | None -> Hashtbl.replace tbl o (s, s)
+      | Some (lo, hi) -> Hashtbl.replace tbl o (min lo s, max hi s))
+    writes;
+  (* lint: allow hashtbl-fold -- collection only, sorted by origin below *)
+  Hashtbl.fold (fun o (lo, hi) acc -> (o, lo, hi) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let ranges b =
+  match b.payload with
+  | Delta ws | Full (_, ws) -> ranges_of_writes ws
+
+let payload_writes b = match b.payload with Delta ws | Full (_, ws) -> ws
+
+(* ------------------------------------------------------------------ *)
+(* Exact arithmetic size — mirrors [encode] below; checked by tests.   *)
+
+let writes_byte_size ws =
+  List.fold_left (fun acc w -> acc + Write.byte_size w) 8 ws
+
+let byte_size b =
+  let header =
+    1 (* magic *) + 1 (* version *) + 8 (* from *) + 1 (* kind tag *)
+    + 8 (* round *) + 8 (* rate *) + 8 (* csn_start *)
+    + 8 + (24 * List.length (ranges b))
+    + 1 (* payload tag *)
+  in
+  let csn = 8 + (16 * List.length b.csn) in
+  let vector = Codec.vector_byte_size b.vector in
+  let cover = 8 + (8 * Array.length b.cover) in
+  let payload =
+    match b.payload with
+    | Delta ws -> writes_byte_size ws
+    | Full (snap, ws) -> Codec.snapshot_byte_size snap + writes_byte_size ws
+  in
+  header + csn + vector + cover + payload
+
+(* ------------------------------------------------------------------ *)
+(* Encode                                                              *)
+
+let kind_tag = function Push -> 0 | Pull_reply _ -> 1 | Gossip -> 2
+let kind_round = function Pull_reply r -> r | Push | Gossip -> 0
+
+let encode frame b =
+  let open Codec in
+  Frame.preallocate frame (byte_size b);
+  put_u8 frame magic;
+  put_u8 frame version;
+  put_int frame b.from;
+  put_u8 frame (kind_tag b.kind);
+  put_int frame (kind_round b.kind);
+  put_float frame b.rate;
+  put_int frame b.csn_start;
+  let rs = ranges b in
+  put_int frame (List.length rs);
+  List.iter
+    (fun (o, lo, hi) ->
+      put_int frame o;
+      put_int frame lo;
+      put_int frame hi)
+    rs;
+  (match b.payload with Delta _ -> put_u8 frame 0 | Full _ -> put_u8 frame 1);
+  put_int frame (List.length b.csn);
+  List.iter
+    (fun (id : Write.id) ->
+      put_int frame id.origin;
+      put_int frame id.seq)
+    b.csn;
+  encode_vector frame b.vector;
+  put_int frame (Array.length b.cover);
+  Array.iter (put_float frame) b.cover;
+  match b.payload with
+  | Delta ws ->
+    put_int frame (List.length ws);
+    List.iter (encode_write frame) ws
+  | Full (snap, ws) ->
+    encode_snapshot frame snap;
+    put_int frame (List.length ws);
+    List.iter (encode_write frame) ws
+
+let to_string b = Codec.to_string encode b
+
+(* ------------------------------------------------------------------ *)
+(* Decode                                                              *)
+
+let decode_kind c =
+  let tag = Codec.get_u8 c in
+  let round = Codec.get_int c in
+  match tag with
+  | 0 -> Push
+  | 1 -> Pull_reply round
+  | 2 -> Gossip
+  | t -> raise (Codec.Malformed (Printf.sprintf "bad batch kind %d" t))
+
+let decode_prefix c =
+  let open Codec in
+  if get_u8 c <> magic then raise (Malformed "bad batch magic");
+  let v = get_u8 c in
+  if v <> version then
+    raise (Malformed (Printf.sprintf "unsupported batch version %d" v));
+  let from = get_int c in
+  let kind = decode_kind c in
+  let rate = get_float c in
+  let csn_start = get_int c in
+  let nranges = get_int c in
+  if nranges < 0 then raise (Malformed "negative range count");
+  let ranges =
+    List.init nranges (fun _ ->
+        let o = get_int c in
+        let lo = get_int c in
+        let hi = get_int c in
+        (o, lo, hi))
+  in
+  let payload =
+    match get_u8 c with
+    | 0 -> `Delta
+    | 1 -> `Full
+    | t -> raise (Malformed (Printf.sprintf "bad payload tag %d" t))
+  in
+  (from, kind, rate, csn_start, ranges, payload)
+
+let decode_header s =
+  let c = Codec.cursor s in
+  let h_from, h_kind, h_rate, h_csn_start, h_ranges, h_payload =
+    decode_prefix c
+  in
+  { h_from; h_kind; h_rate; h_csn_start; h_ranges; h_payload }
+
+let decode_writes c =
+  let open Codec in
+  let n = get_int c in
+  if n < 0 then raise (Malformed "negative write count");
+  List.init n (fun _ -> decode_write c)
+
+let of_string s =
+  let open Codec in
+  let c = cursor s in
+  let from, kind, rate, csn_start, _ranges, ptag = decode_prefix c in
+  let ncsn = get_int c in
+  if ncsn < 0 then raise (Malformed "negative csn count");
+  let csn =
+    List.init ncsn (fun _ ->
+        let origin = get_int c in
+        let seq = get_int c in
+        { Write.origin; seq })
+  in
+  let vector = decode_vector c in
+  let ncover = get_int c in
+  if ncover < 0 || ncover > 1_000_000 then raise (Malformed "bad cover size");
+  let cover = Array.init ncover (fun _ -> get_float c) in
+  let payload =
+    match ptag with
+    | `Delta -> Delta (decode_writes c)
+    | `Full ->
+      let snap = decode_snapshot c in
+      let ws = decode_writes c in
+      Full (snap, ws)
+  in
+  if c.pos <> String.length c.data then
+    raise (Malformed "trailing bytes after batch");
+  { from; kind; vector; cover; csn_start; csn; rate; payload }
+
+(* ------------------------------------------------------------------ *)
+(* The batch planner: what one sync round sends to one peer.           *)
+
+(* Delta against the peer's (believed) vector when the log can still serve
+   it; otherwise fall back to a full snapshot plus the retained tail — the
+   truncation-integration point.  The believed vector only ever lags the
+   peer's true state, so a stale belief costs redundant writes (deduped on
+   receive), never correctness. *)
+let plan ~log ~peer_vector payload_of =
+  if Wlog.can_serve log peer_vector then
+    payload_of (Delta (Wlog.writes_since log peer_vector))
+  else
+    let snap = Wlog.snapshot log in
+    payload_of (Full (snap, Wlog.writes_since log snap.Wlog.snap_vector))

@@ -1,0 +1,78 @@
+(** Framed anti-entropy batches.
+
+    One frame per sync round per peer, replacing the per-write transfer
+    stream: the header carries the sender id, frame kind, rate estimate, CSN
+    window start and the per-origin sequence ranges of the carried writes;
+    the body carries the CSN slice, the sender's vector and cover, and either
+    a {e delta} (exactly the writes the receiver's vector proves it lacks) or
+    a {e full} payload (committed snapshot plus the retained tail) when the
+    sender has truncated below the receiver's vector.
+
+    Encoding goes through {!Codec.Frame}: the exact frame size is computed
+    arithmetically ({!byte_size}, leaning on the memoized
+    {!Write.byte_size}), preallocated in one step, and filled in place — one
+    arena allocation per round, amortised zero once the arena reaches
+    steady-state capacity.
+
+    Frames are self-delimiting and idempotent to apply: every write, CSN
+    entry and cover component the receiver already knows deduplicates, so a
+    duplicated or re-delivered frame cannot double-apply. *)
+
+type kind = Push | Pull_reply of int | Gossip
+
+type payload =
+  | Delta of Write.t list
+  | Full of Wlog.snapshot * Write.t list
+      (** snapshot + retained writes past its vector *)
+
+type t = {
+  from : int;
+  kind : kind;
+  vector : Version_vector.t;  (** sender's full vector at send time *)
+  cover : float array;  (** sender's per-origin cover times *)
+  csn_start : int;
+  csn : Write.id list;
+  rate : float;
+  payload : payload;
+}
+
+type header = {
+  h_from : int;
+  h_kind : kind;
+  h_rate : float;
+  h_csn_start : int;
+  h_ranges : (int * int * int) list;
+      (** (origin, lo, hi): the batch carries origin's writes seq lo..hi *)
+  h_payload : [ `Delta | `Full ];
+}
+
+val ranges : t -> (int * int * int) list
+(** Per-origin contiguous sequence ranges of the carried writes, sorted by
+    origin — what the wire header advertises. *)
+
+val payload_writes : t -> Write.t list
+
+val byte_size : t -> int
+(** Exact encoded size without encoding (mirrors {!encode}; checked by
+    tests). *)
+
+val encode : Codec.Frame.t -> t -> unit
+(** Append the frame's encoding to the arena, preallocating {!byte_size}
+    bytes first so the encode performs at most one arena growth. *)
+
+val to_string : t -> string
+
+val decode_header : string -> header
+(** Decode only the fixed-size header — frame summary without touching the
+    payload. *)
+
+val of_string : string -> t
+(** Full decode.  Raises {!Codec.Malformed} on corrupt, truncated or
+    trailing-garbage input. *)
+
+val plan :
+  log:Wlog.t -> peer_vector:Version_vector.t -> (payload -> 'a) -> 'a
+(** The batch planner: delta against [peer_vector] when the log can still
+    serve it ({!Wlog.can_serve}), else a snapshot fallback carrying the
+    committed image plus retained tail.  The continuation receives the chosen
+    payload. *)

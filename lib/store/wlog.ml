@@ -27,6 +27,12 @@ type snapshot = {
 type t = {
   nreplicas : int;
   initial : (string * Value.t) list;
+  journal_on : bool;
+      (* record the commit journal (observation capture needs it); off for
+         bounded-memory long runs, where it would grow without bound *)
+  evict_on_truncate : bool;
+      (* truncation also evicts per-write side tables (outcomes, finals,
+         committed ids), bounding memory by the truncation horizon *)
   committed : Write.t Deque.t; (* retained committed prefix, commit order *)
   journal : Write.id Vec.t; (* every commit ever, commit order; never truncated *)
   mutable ncommitted : int;
@@ -58,10 +64,12 @@ type t = {
       (* last vector seen by the sanitizer, for monotonicity (sanitize only) *)
 }
 
-let create ~replicas ~initial =
+let create_bounded ~journal ~evict_outcomes ~replicas ~initial =
   {
     nreplicas = replicas;
     initial;
+    journal_on = journal;
+    evict_on_truncate = evict_outcomes;
     committed = Deque.create ();
     journal = Vec.create ();
     ncommitted = 0;
@@ -84,6 +92,9 @@ let create ~replicas ~initial =
     nrollbacks = 0;
     shadow_vector = None;
   }
+
+let create ~replicas ~initial =
+  create_bounded ~journal:true ~evict_outcomes:false ~replicas ~initial
 
 let htbl_add tbl key delta =
   let v = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0 in
@@ -120,18 +131,20 @@ let invariant_violations t =
   if Vec.length t.journal > t.ncommitted then
     addf "commit journal length %d exceeds commit count %d"
       (Vec.length t.journal) t.ncommitted;
-  let retained = Deque.length t.committed in
-  if retained > Vec.length t.journal then
-    addf "retained committed prefix (%d) longer than commit journal (%d)"
-      retained (Vec.length t.journal)
-  else
-    for i = 0 to retained - 1 do
-      let w = Deque.get t.committed i in
-      let jid = Vec.get t.journal (Vec.length t.journal - retained + i) in
-      if Write.compare_id w.Write.id jid <> 0 then
-        addf "committed prefix diverges from commit journal at retained position %d: %s vs %s"
-          i (Write.id_to_string w.Write.id) (Write.id_to_string jid)
-    done;
+  if t.journal_on then begin
+    let retained = Deque.length t.committed in
+    if retained > Vec.length t.journal then
+      addf "retained committed prefix (%d) longer than commit journal (%d)"
+        retained (Vec.length t.journal)
+    else
+      for i = 0 to retained - 1 do
+        let w = Deque.get t.committed i in
+        let jid = Vec.get t.journal (Vec.length t.journal - retained + i) in
+        if Write.compare_id w.Write.id jid <> 0 then
+          addf "committed prefix diverges from commit journal at retained position %d: %s vs %s"
+            i (Write.id_to_string w.Write.id) (Write.id_to_string jid)
+      done
+  end;
   (* Id discipline: committed writes are flagged committed, tentative writes
      are not, and the known vector covers everything in the log. *)
   Deque.iter
@@ -533,7 +546,7 @@ let commit_one t (w : Write.t) =
   Version_vector.set t.committed_vec w.id.origin
     (max w.id.seq (Version_vector.get t.committed_vec w.id.origin));
   Deque.push_back t.committed w;
-  Vec.push t.journal w.id;
+  if t.journal_on then Vec.push t.journal w.id;
   t.ncommitted <- t.ncommitted + 1;
   List.iter
     (fun { Write.conit; nweight; oweight } ->
@@ -557,12 +570,40 @@ let stable ~cover (w : Write.t) =
 let commit_stable t ~cover =
   if Array.length cover <> t.nreplicas then
     invalid_arg "Wlog.commit_stable: cover arity mismatch";
+  (* O(1) stability peeks: a write is stable iff its timestamp is strictly
+     under the minimum cover over the {e other} origins — the global minimum,
+     or the runner-up when the write's own origin is the unique argmin.  The
+     per-origin scan would make committing O(origins) per write, which
+     dominates large-replica runs (E22); exact ties (timestamp equal to the
+     effective minimum) defer to the precise tie-breaking rule. *)
+  let min1 = ref infinity and min2 = ref infinity in
+  let argmin = ref (-1) and nmin = ref 0 in
+  Array.iteri
+    (fun o c ->
+      if c < !min1 then begin
+        min2 := !min1;
+        min1 := c;
+        argmin := o;
+        nmin := 1
+      end
+      else if c = !min1 then begin
+        incr nmin;
+        min2 := c
+      end
+      else if c < !min2 then min2 := c)
+    cover;
+  let stable_fast (w : Write.t) =
+    let m = if !argmin = w.id.origin && !nmin = 1 then !min2 else !min1 in
+    if w.accept_time < m then true
+    else if w.accept_time > m then false
+    else stable ~cover w
+  in
   (* Commit order equals timestamp order here, so the full image and the
      suffix's undo journals beyond the frontier are untouched: committing is
      a front pop (the popped undo journal dissolves into the base image). *)
   let n = ref 0 in
   while
-    (not (Deque.is_empty t.tent)) && stable ~cover (Deque.peek_front t.tent)
+    (not (Deque.is_empty t.tent)) && stable_fast (Deque.peek_front t.tent)
   do
     let w = Deque.pop_front t.tent in
     ignore (Deque.pop_front t.undo);
@@ -630,6 +671,8 @@ let rollbacks t = t.nrollbacks
    committed prefix is fully described by two journal indices — and because
    the journal is append-only, the slice can be expanded at any later time. *)
 let commit_cursor t =
+  if not t.journal_on then
+    invalid_arg "Wlog.commit_cursor: commit journal disabled (journal:false)";
   let hi = Vec.length t.journal in
   (hi - Deque.length t.committed, hi)
 
@@ -650,6 +693,15 @@ let truncate t ~keep =
     for _ = 1 to drop do
       let w = Deque.pop_front t.committed in
       Hashtbl.remove t.by_id w.Write.id;
+      if t.evict_on_truncate then begin
+        (* Per-write side tables would otherwise grow forever; the eviction
+           is safe because nothing consults them for truncated writes: the
+           primary scheme's csn pointer never re-offers a committed prefix,
+           and stability commits only pop tentative writes. *)
+        Hashtbl.remove t.outcomes w.id;
+        Hashtbl.remove t.finals w.id;
+        Hashtbl.remove t.committed_ids w.id
+      end;
       let o = w.id.origin in
       Version_vector.set t.trunc_vec o
         (max w.id.seq (Version_vector.get t.trunc_vec o));
@@ -712,7 +764,15 @@ let install_snapshot t snap =
     (* Retained committed records are all covered by the snapshot; drop them.
        (The commit journal keeps their ids: it describes this log's own
        commit history, which the snapshot does not rewrite.) *)
-    Deque.iter (fun (w : Write.t) -> Hashtbl.remove t.by_id w.Write.id) t.committed;
+    Deque.iter
+      (fun (w : Write.t) ->
+        Hashtbl.remove t.by_id w.Write.id;
+        if t.evict_on_truncate then begin
+          Hashtbl.remove t.outcomes w.Write.id;
+          Hashtbl.remove t.finals w.Write.id;
+          Hashtbl.remove t.committed_ids w.Write.id
+        end)
+      t.committed;
     Deque.clear t.committed;
     Hashtbl.reset t.committed_values;
     List.iter (fun (k, v) -> Hashtbl.replace t.committed_values k v) snap.snap_values;

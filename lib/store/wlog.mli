@@ -25,6 +25,26 @@ type insertion =
   | Buffered  (** a per-origin sequence gap; parked until the gap fills *)
 
 val create : replicas:int -> initial:(string * Value.t) list -> t
+(** Equivalent to {!create_bounded} with [journal:true]
+    [evict_outcomes:false] — full history retention. *)
+
+val create_bounded :
+  journal:bool ->
+  evict_outcomes:bool ->
+  replicas:int ->
+  initial:(string * Value.t) list ->
+  t
+(** [journal]: keep the append-only commit journal that observation capture
+    ({!commit_cursor}) relies on.  Disable it for bounded-memory long runs —
+    it grows with every commit, forever — at the price of {!commit_cursor}
+    raising [Invalid_argument].
+
+    [evict_outcomes]: make {!truncate} (and snapshot installation) also evict
+    the truncated writes' entries from the per-write side tables (tentative
+    outcomes, final outcomes, committed-id set), so total memory is bounded
+    by the truncation horizon instead of by history.  Safe because no code
+    path consults these tables for truncated writes; the visible cost is
+    {!final_outcome} returning [None] for them. *)
 
 val accept : t -> Write.t -> Op.outcome
 (** Insert a locally originated write.  Must be the next sequence number for

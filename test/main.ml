@@ -9,6 +9,7 @@ let () =
       ("wlog", Test_wlog.suite);
       ("wlog-model", Test_wlog_model.suite);
       ("codec", Test_codec.suite);
+      ("batch", Test_batch.suite);
       ("core-model", Test_core_model.suite);
       ("protocols", Test_protocols.suite);
       ("replica", Test_replica.suite);

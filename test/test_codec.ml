@@ -29,16 +29,16 @@ let value_arb = QCheck.make ~print:Value.to_string value_gen
 let test_value_roundtrip =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"value round trip" ~count:500 value_arb (fun v ->
-         let buf = Buffer.create 64 in
-         Codec.encode_value buf v;
-         let c = Codec.cursor (Buffer.contents buf) in
+         let s = Codec.to_string Codec.encode_value v in
+         let c = Codec.cursor s in
          let v' = Codec.decode_value c in
          Value.equal v v' && c.Codec.pos = String.length c.Codec.data))
 
 let test_value_nan_roundtrip () =
-  let buf = Buffer.create 16 in
-  Codec.encode_value buf (Value.Float Float.nan);
-  match Codec.decode_value (Codec.cursor (Buffer.contents buf)) with
+  match
+    Codec.decode_value
+      (Codec.cursor (Codec.to_string Codec.encode_value (Value.Float Float.nan)))
+  with
   | Value.Float f -> Alcotest.(check bool) "nan preserved" true (Float.is_nan f)
   | _ -> Alcotest.fail "wrong shape"
 
@@ -47,9 +47,7 @@ let test_value_nan_roundtrip () =
 let test_op_roundtrip () =
   List.iter
     (fun op ->
-      let buf = Buffer.create 64 in
-      Codec.encode_op buf op;
-      let op' = Codec.decode_op (Codec.cursor (Buffer.contents buf)) in
+      let op' = Codec.decode_op (Codec.cursor (Codec.to_string Codec.encode_op op)) in
       Alcotest.(check string) "op round trip" (Op.describe op) (Op.describe op'))
     [ Op.Noop; Op.Set ("k", Value.Int 3); Op.Add ("k", -2.5);
       Op.Append ("k", Value.Str "x"); Op.Named ("reserve", Value.Int 7) ]
@@ -58,7 +56,7 @@ let test_proc_unserializable () =
   let proc = Op.guarded ~name:"g" ~check:(fun _ -> true) ~apply:(fun _ -> Value.Nil) () in
   Alcotest.(check bool) "closure refused" true
     (try
-       Codec.encode_op (Buffer.create 8) proc;
+       Codec.encode_op (Codec.Frame.create ~initial:8 ()) proc;
        false
      with Codec.Unserializable _ -> true)
 
@@ -141,9 +139,9 @@ let test_vector_roundtrip () =
   let v = Version_vector.create 5 in
   Version_vector.set v 0 3;
   Version_vector.set v 4 99;
-  let buf = Buffer.create 64 in
-  Codec.encode_vector buf v;
-  let v' = Codec.decode_vector (Codec.cursor (Buffer.contents buf)) in
+  let v' =
+    Codec.decode_vector (Codec.cursor (Codec.to_string Codec.encode_vector v))
+  in
   Alcotest.(check bool) "equal" true (Version_vector.equal v v')
 
 (* --- Corruption handling --------------------------------------------------- *)
@@ -159,9 +157,7 @@ let test_malformed_rejected () =
   Alcotest.(check bool) "bad tag" true (reject "\xff");
   Alcotest.(check bool) "truncated int" true (reject "\x01\x00\x00");
   (* A list claiming a negative length. *)
-  let buf = Buffer.create 16 in
-  Codec.encode_value buf (Value.List [ Value.Int 1 ]);
-  let s = Buffer.contents buf in
+  let s = Codec.to_string Codec.encode_value (Value.List [ Value.Int 1 ]) in
   let corrupted = "\x04\xff\xff\xff\xff\xff\xff\xff\xff" ^ String.sub s 9 (String.length s - 9) in
   Alcotest.(check bool) "negative length" true (reject corrupted)
 
@@ -211,9 +207,9 @@ let test_byte_sizes () =
   in
   List.iter
     (fun v ->
-      let buf = Buffer.create 32 in
-      Codec.encode_value buf v;
-      Alcotest.(check int) "value size" (Buffer.length buf) (Codec.value_byte_size v))
+      Alcotest.(check int) "value size"
+        (String.length (Codec.to_string Codec.encode_value v))
+        (Codec.value_byte_size v))
     values;
   let log =
     Wlog.create ~replicas:3

@@ -95,8 +95,24 @@ let test_e12_commit_shape () =
   let out = E12_commit.run ~quick:true () in
   Alcotest.(check bool) "rendered" true (String.length out > 200)
 
+(* E22 smoke: a scaled-down sweep point must converge with per-replica log
+   memory pinned to the truncation horizon — retained committed prefix never
+   exceeds [keep], and total held writes stay at horizon + commit lag, far
+   below the run's write count. *)
+let test_e22_bounded_memory () =
+  let r =
+    E22_scale.run_one ~n:12 ~writers:1 ~total:8_000 ~keep:300 ~sample:1.0
+  in
+  Alcotest.(check bool) "converged" true r.converged;
+  Alcotest.(check int) "all writes submitted" 8_000 r.writes;
+  Alcotest.(check bool) "retained prefix at the horizon" true
+    (r.max_retained <= 300);
+  Alcotest.(check bool) "held writes bounded by horizon + lag" true
+    (r.max_known < 4_000);
+  Alcotest.(check bool) "batches flowed" true (r.batches > 0)
+
 let test_registry_complete () =
-  Alcotest.(check int) "21 experiments" 21 (List.length Registry.all);
+  Alcotest.(check int) "22 experiments" 22 (List.length Registry.all);
   let found key (e : Registry.entry) =
     match Registry.find key with Some x -> x.id = e.id | None -> false
   in
@@ -121,6 +137,7 @@ let base_suite =
     Alcotest.test_case "E9 all hold" `Slow test_e9_all_hold;
     Alcotest.test_case "E11 budget shape" `Slow test_e11_budget_shape;
     Alcotest.test_case "E12 commit shape" `Slow test_e12_commit_shape;
+    Alcotest.test_case "E22 bounded memory" `Slow test_e22_bounded_memory;
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
   ]
 
