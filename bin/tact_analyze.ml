@@ -1,0 +1,145 @@
+(* tact_analyze — the AST-based static analyzer.
+
+   Parses the tree with compiler-libs, builds per-module summaries and the
+   cross-module reference graph, then runs the layering, domain-race and
+   determinism passes (see doc/ANALYSIS.md for the SA0xx catalogue).
+
+   Usage:
+     tact_analyze [--rules FILE] [--baseline FILE] [--update-baseline]
+                  [--json] [--sarif FILE] [--graph] [DIR ...]
+
+   Defaults: DIRs = lib bin bench, rules = analysis/layering.rules,
+   baseline = analysis/tact_analyze.baseline.  Exit 1 when any finding is
+   not covered by the baseline. *)
+
+open Tact_staticcheck
+
+let usage () =
+  prerr_endline
+    "usage: tact_analyze [--rules FILE] [--baseline FILE] \
+     [--update-baseline] [--json] [--sarif FILE] [--graph] [DIR ...]";
+  exit 2
+
+type opts = {
+  mutable rules_file : string;
+  mutable baseline_file : string;
+  mutable update_baseline : bool;
+  mutable json : bool;
+  mutable sarif : string option;
+  mutable graph_dump : bool;
+  mutable dirs : string list;
+}
+
+let parse_args () =
+  let o =
+    { rules_file = "analysis/layering.rules";
+      baseline_file = "analysis/tact_analyze.baseline";
+      update_baseline = false;
+      json = false;
+      sarif = None;
+      graph_dump = false;
+      dirs = [] }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--rules" :: f :: rest -> o.rules_file <- f; go rest
+    | "--baseline" :: f :: rest -> o.baseline_file <- f; go rest
+    | "--update-baseline" :: rest -> o.update_baseline <- true; go rest
+    | "--json" :: rest -> o.json <- true; go rest
+    | "--sarif" :: f :: rest -> o.sarif <- Some f; go rest
+    | "--graph" :: rest -> o.graph_dump <- true; go rest
+    | ("--rules" | "--baseline" | "--sarif") :: [] -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | d :: rest -> o.dirs <- d :: o.dirs; go rest
+  in
+  go (Array.to_list Sys.argv |> List.tl);
+  if o.dirs = [] then o.dirs <- [ "lib"; "bin"; "bench" ]
+  else o.dirs <- List.rev o.dirs;
+  o
+
+let syntax_findings (loaded : Loader.t) =
+  List.filter_map
+    (fun (s : Loader.source) ->
+      match s.s_error with
+      | None -> None
+      | Some (line, col, msg) ->
+        let loc =
+          let pos =
+            { Lexing.pos_fname = s.s_path; pos_lnum = line; pos_bol = 0;
+              pos_cnum = col }
+          in
+          { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
+        in
+        Some
+          (Report.finding ~rule_id:"SA001" ~path:s.s_path ~loc
+             ~context:"syntax" msg))
+    loaded.sources
+
+let dump_graph graph =
+  List.iter
+    (fun (e : Graph.edge) ->
+      Printf.printf "%s/%s -> %s/%s (%s:%d in %s)\n" e.e_src.n_dir
+        e.e_src.n_mod e.e_dst.n_dir e.e_dst.n_mod
+        e.e_loc.Location.loc_start.Lexing.pos_fname
+        e.e_loc.Location.loc_start.Lexing.pos_lnum
+        (if String.equal e.e_def "" then "(toplevel)" else e.e_def))
+    (Graph.module_edges graph)
+
+let () =
+  let o = parse_args () in
+  let loaded = Loader.load_dirs o.dirs in
+  let sums =
+    List.map (Summary.of_source loaded) loaded.Loader.sources
+  in
+  let graph = Graph.build sums in
+  if o.graph_dump then begin
+    dump_graph graph;
+    exit 0
+  end;
+  let layering =
+    if Sys.file_exists o.rules_file then
+      match Layering.load_rules o.rules_file with
+      | Ok rules -> Layering.run rules graph
+      | Error e ->
+        Printf.eprintf "tact_analyze: %s\n" e;
+        exit 2
+    else begin
+      Printf.eprintf
+        "tact_analyze: note: %s not found, skipping layering pass\n"
+        o.rules_file;
+      []
+    end
+  in
+  let findings =
+    Report.dedup
+      (syntax_findings loaded @ layering @ Races.run graph
+      @ Determinism.run sums)
+  in
+  if o.update_baseline then begin
+    Baseline.save o.baseline_file findings;
+    Printf.printf "tact_analyze: wrote %d baseline entr%s to %s\n"
+      (List.length findings)
+      (if List.length findings = 1 then "y" else "ies")
+      o.baseline_file;
+    exit 0
+  end;
+  let baseline = Baseline.load o.baseline_file in
+  let baselined = Baseline.mem baseline in
+  let fresh = List.filter (fun f -> not (baselined f)) findings in
+  (match o.sarif with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Report.sarif_of ~baselined findings);
+    close_out oc
+  | None -> ());
+  if o.json then print_string (Report.json_of ~baselined findings)
+  else begin
+    List.iter (fun f -> print_endline (Report.to_text f)) fresh;
+    Printf.printf
+      "tact_analyze: %d file(s), %d finding(s), %d baselined, %d new\n"
+      (List.length loaded.Loader.sources)
+      (List.length findings)
+      (List.length findings - List.length fresh)
+      (List.length fresh)
+  end;
+  if fresh <> [] then exit 1

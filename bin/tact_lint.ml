@@ -1,15 +1,19 @@
-(* Source lint for the tact tree.
+(* Source lint for the tact tree — the fast textual pre-pass.
 
    A small textual pass over [.ml] files that flags patterns this codebase
-   forbids on its deterministic paths: polymorphic comparison, unspecified
-   Hashtbl iteration order, naked [failwith], wall-clock reads, global Random
-   state, [Obj.magic], exact float (in)equality on the metrics/bounds paths
-   (lib/core, lib/replica, lib/protocols, lib/check), mutable
-   module-level state outside lib/util (the interleaving checker replays
-   runs in-process, so modules must be re-entrant), and raw domain
-   primitives (Domain/Mutex/Condition/Atomic) outside the lib/util
-   concurrency layer.  Comments and string literals are stripped before
-   matching, so prose never trips a rule.
+   forbids on its deterministic paths: unspecified Hashtbl iteration order,
+   naked [failwith], raw domain primitives (Domain/Mutex/Condition/Atomic)
+   outside the lib/util concurrency layer, and per-call buffer allocation on
+   the wire hot paths.  Comments and string literals are stripped before
+   matching (see lib/staticcheck/strip.ml), so prose never trips a rule.
+
+   The scope-aware rules this linter used to carry — polymorphic compare,
+   wall-clock reads, global Random state, Obj.magic, exact float equality,
+   module-level mutable state — moved to the AST-based analyzer
+   [bin/tact_analyze.ml] (rules SA030/SA040-SA044), which resolves
+   identifiers instead of pattern-matching lines.  Run both: this pass is
+   milliseconds and catches what a parse never sees (unparsable files aside,
+   Hashtbl order and failwith are lexical properties).
 
    A finding is suppressed by a [(* lint: allow <rule> -- why *)] comment on
    the same line or the line directly above it, or for a whole file by
@@ -22,10 +26,6 @@ type rule = { rule_name : string; explain : string }
 
 let rules =
   [
-    { rule_name = "polymorphic-compare";
-      explain =
-        "polymorphic compare; use a typed one (Int.compare, Float.compare, \
-         Write.compare_id, ...)" };
     { rule_name = "hashtbl-iter";
       explain =
         "Hashtbl.iter order is unspecified; sort first, or annotate if \
@@ -37,22 +37,6 @@ let rules =
     { rule_name = "naked-failwith";
       explain = "failwith raises anonymous Failure; use invalid_arg or a typed \
                  exception" };
-    { rule_name = "wall-clock";
-      explain = "wall-clock read breaks simulation determinism; use the \
-                 engine's virtual time" };
-    { rule_name = "global-random";
-      explain = "global Random state breaks run-to-run determinism; use a \
-                 seeded Random.State" };
-    { rule_name = "obj-magic"; explain = "Obj.magic defeats the type system" };
-    { rule_name = "float-equal";
-      explain =
-        "float =/<> is exact; use Float.equal or an epsilon comparison \
-         (metrics/bounds arithmetic accumulates rounding error)" };
-    { rule_name = "module-state";
-      explain =
-        "mutable module-level state breaks re-entrancy; the checker replays \
-         runs in-process, so scope it inside a value or annotate why it is \
-         safe" };
     { rule_name = "domain-safety";
       explain =
         "raw Domain/Mutex/Condition/Atomic use belongs in lib/util (Pool, \
@@ -73,132 +57,9 @@ let is_ident_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
 
-(* Blank out comments and string/char literals, preserving line structure.
-   Records each comment's text and starting line so allow-annotations survive
-   the stripping.  Handles nested comments, escaped quotes and [{id|...|id}]
-   quoted strings. *)
-let strip src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let comments = ref [] in
-  let line = ref 1 in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let bump c = if c = '\n' then incr line in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      (* comment, possibly nested *)
-      let start_line = !line in
-      let buf = Buffer.create 64 in
-      let depth = ref 0 in
-      let continue = ref true in
-      while !continue && !i < n do
-        let c = src.[!i] in
-        bump c;
-        if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-          incr depth;
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-          decr depth;
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2;
-          if !depth = 0 then continue := false
-        end
-        else begin
-          Buffer.add_char buf c;
-          blank !i;
-          incr i
-        end
-      done;
-      comments := (start_line, Buffer.contents buf) :: !comments
-    end
-    else if c = '"' then begin
-      blank !i;
-      incr i;
-      let continue = ref true in
-      while !continue && !i < n do
-        let c = src.[!i] in
-        bump c;
-        if c = '\\' && !i + 1 < n then begin
-          (* the escaped character may itself be a newline (string
-             line-continuation): it must still advance the line counter, or
-             every comment recorded after it lands one line short and
-             allow-annotations stop covering their targets *)
-          bump src.[!i + 1];
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else begin
-          blank !i;
-          incr i;
-          if c = '"' then continue := false
-        end
-      done
-    end
-    else if c = '{' && !i + 1 < n then begin
-      (* quoted string {id|...|id} *)
-      let j = ref (!i + 1) in
-      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
-        incr j
-      done;
-      if !j < n && src.[!j] = '|' then begin
-        let delim = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
-        let dlen = String.length delim in
-        let fin = ref (!j + 1) in
-        while
-          !fin + dlen <= n && not (String.equal (String.sub src !fin dlen) delim)
-        do
-          incr fin
-        done;
-        let stop = min n (!fin + dlen) in
-        while !i < stop do
-          bump src.[!i];
-          blank !i;
-          incr i
-        done
-      end
-      else begin
-        incr i
-      end
-    end
-    else if
-      c = '\''
-      && !i + 2 < n
-      && (src.[!i + 1] <> '\\' && src.[!i + 2] = '\'')
-      && not (!i > 0 && is_ident_char src.[!i - 1])
-    then begin
-      (* plain char literal — but not the prime in [x'] or a type variable *)
-      bump src.[!i + 1];
-      blank !i;
-      blank (!i + 1);
-      blank (!i + 2);
-      i := !i + 3
-    end
-    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
-      (* escaped char literal '\n', '\\', '\123', '\x41' *)
-      blank !i;
-      incr i;
-      let continue = ref true in
-      while !continue && !i < n do
-        let c = src.[!i] in
-        bump c;
-        blank !i;
-        incr i;
-        if c = '\'' then continue := false
-      done
-    end
-    else begin
-      bump c;
-      incr i
-    end
-  done;
-  (Bytes.to_string out, !comments)
+(* Blank out comments and string/char literals, preserving line structure;
+   shared with tact_analyze's pre-pass. *)
+let strip = Tact_staticcheck.Strip.strip
 
 (* --- allow annotations ------------------------------------------------- *)
 
@@ -274,195 +135,6 @@ let has_token ?(qualified = false) line word =
   done;
   !found
 
-let prev_word line k =
-  let j = ref (k - 1) in
-  while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
-    decr j
-  done;
-  let stop = !j in
-  while !j >= 0 && is_ident_char line.[!j] do
-    decr j
-  done;
-  if stop < 0 then "" else String.sub line (!j + 1) (stop - !j)
-
-(* A bare [compare] that is not a definition ([let compare], [rec], [and]),
-   not a field access and not part of a longer name. *)
-let bare_compare line =
-  let n = String.length line and w = "compare" in
-  let bad = ref false in
-  for k = 0 to n - String.length w do
-    if String.sub line k (String.length w) = w then begin
-      let pre_ok =
-        k = 0 || ((not (is_ident_char line.[k - 1])) && line.[k - 1] <> '.')
-      in
-      let post_ok =
-        k + String.length w >= n || not (is_ident_char line.[k + String.length w])
-      in
-      if pre_ok && post_ok then
-        match prev_word line k with
-        | "let" | "rec" | "and" | "val" -> ()
-        | _ -> bad := true
-    end
-  done;
-  !bad
-
-(* Tokens for the float-equal rule: identifiers possibly qualified or
-   projected ([Float.abs], [b.ne]) and numeric literals ([0.0], [1e9]). *)
-let is_tok_char c = is_ident_char c || c = '.'
-
-let token_after line k =
-  let n = String.length line in
-  let i = ref k in
-  while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
-    incr i
-  done;
-  let start = !i in
-  while !i < n && is_tok_char line.[!i] do
-    incr i
-  done;
-  String.sub line start (!i - start)
-
-(* Last token ending strictly before [k], with its start index. *)
-let token_before line k =
-  let j = ref (k - 1) in
-  while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
-    decr j
-  done;
-  let stop = !j in
-  while !j >= 0 && is_tok_char line.[!j] do
-    decr j
-  done;
-  (String.sub line (!j + 1) (stop - !j), !j + 1)
-
-let float_const_names =
-  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float"; "min_float" ]
-
-let is_float_literal tok =
-  let n = String.length tok in
-  if n = 0 then false
-  else if List.exists (String.equal tok) float_const_names then true
-  else if tok.[0] >= '0' && tok.[0] <= '9' then
-    if
-      n > 1 && tok.[0] = '0'
-      && (let c = tok.[1] in
-          c = 'x' || c = 'X' || c = 'o' || c = 'O' || c = 'b' || c = 'B')
-    then false (* hex/octal/binary int *)
-    else begin
-      let has = ref false in
-      String.iter (fun c -> if c = '.' || c = 'e' || c = 'E' then has := true) tok;
-      !has
-    end
-  else false
-
-let op_char c =
-  match c with
-  | '=' | '<' | '>' | '!' | ':' | '+' | '-' | '*' | '/' | '&' | '|' | '@' | '^'
-  | '$' | '%' | '~' | '?' ->
-    true
-  | _ -> false
-
-(* Exact float (in)equality: a standalone [=] or [<>] whose left or right
-   operand is a float literal or named float constant.  Binding contexts —
-   [let x = 0.0], record fields ([{ ne = 0.0; ... }], including multiline
-   fields that start their line), optional arguments [?(ne = infinity)] —
-   are not comparisons and are skipped. *)
-let float_equal_hit line =
-  let n = String.length line in
-  let hit = ref false in
-  for k = 0 to n - 1 do
-    let op_len =
-      if
-        line.[k] = '<'
-        && k + 1 < n
-        && line.[k + 1] = '>'
-        && (k = 0 || not (op_char line.[k - 1]))
-        && (k + 2 >= n || not (op_char line.[k + 2]))
-      then 2
-      else if
-        line.[k] = '='
-        && (k = 0 || not (op_char line.[k - 1]))
-        && (k + 1 >= n || not (op_char line.[k + 1]))
-      then 1
-      else 0
-    in
-    if op_len > 0 then begin
-      let right = token_after line (k + op_len) in
-      let left, lstart = token_before line k in
-      if is_float_literal right || is_float_literal left then
-        if op_len = 2 then hit := true (* <> is never a binding *)
-        else begin
-          let j = ref (lstart - 1) in
-          while !j >= 0 && (line.[!j] = ' ' || line.[!j] = '\t') do
-            decr j
-          done;
-          let binding =
-            if !j < 0 then
-              (* operand opens the line: a wrapped record field like
-                 [retry_period = 1.0;] — unless it is a projection, which
-                 cannot be a field label in a binding *)
-              not (String.contains left '.')
-            else
-              match line.[!j] with
-              | '{' | ';' | ',' | '(' -> true
-              | _ -> (
-                match prev_word line lstart with
-                | "let" | "rec" | "and" | "val" | "mutable" | "method" | "with"
-                  ->
-                  true
-                | _ -> false)
-          in
-          if not binding then hit := true
-        end
-    end
-  done;
-  !hit
-
-(* Module-level mutable state: a column-0 [let NAME = <creator> ...] (with an
-   optional type annotation) whose right-hand side is [ref] or a mutable
-   container constructor.  [let f args = ref ...] defines a function and is
-   fine — fresh state per call. *)
-let creator_names =
-  [ "ref"; "Hashtbl.create"; "Queue.create"; "Buffer.create"; "Stack.create";
-    "Array.make"; "Array.create_float"; "Bytes.make"; "Bytes.create";
-    "Atomic.make" ]
-
-let module_state_hit line =
-  let n = String.length line in
-  if n < 4 || not (String.equal (String.sub line 0 4) "let ") then false
-  else begin
-    let i = ref 4 in
-    while !i < n && line.[!i] = ' ' do
-      incr i
-    done;
-    let start = !i in
-    while !i < n && is_ident_char line.[!i] do
-      incr i
-    done;
-    if !i = start then false (* [let () = ...], [let ( + ) = ...] *)
-    else begin
-      while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
-        incr i
-      done;
-      let eq_pos =
-        if !i < n && line.[!i] = '=' then Some !i
-        else if !i < n && line.[!i] = ':' then begin
-          (* skip the type annotation to the binding's [=] *)
-          let j = ref (!i + 1) in
-          while !j < n && line.[!j] <> '=' do
-            incr j
-          done;
-          if !j < n then Some !j else None
-        end
-        else None (* parameters follow: a function definition *)
-      in
-      match eq_pos with
-      | None -> false
-      | Some e ->
-        let rhs = token_after line (e + 1) in
-        List.exists (String.equal rhs) creator_names
-    end
-  end
-
 (* Substring directory test so both relative and absolute roots scope
    correctly: does [dir ^ "/"] occur in [path]? *)
 let in_dir path dir =
@@ -474,11 +146,9 @@ let in_dir path dir =
   done;
   !found
 
-let check_line ~floats ~modstate ~allochot line =
+let check_line ~allochot line =
   let hits = ref [] in
   let add r = hits := rule r :: !hits in
-  if floats && float_equal_hit line then add "float-equal";
-  if modstate && module_state_hit line then add "module-state";
   (* Wire hot paths (store codecs, simulated network): every message send
      runs these, so per-call [Bytes.create]/[Buffer.create] is churn the
      Frame arena exists to eliminate. *)
@@ -487,17 +157,9 @@ let check_line ~floats ~modstate ~allochot line =
     && (has_token ~qualified:true line "Bytes.create"
        || has_token ~qualified:true line "Buffer.create")
   then add "alloc-hot-path";
-  if bare_compare line || has_token ~qualified:true line "Stdlib.compare" then
-    add "polymorphic-compare";
   if has_token ~qualified:true line "Hashtbl.iter" then add "hashtbl-iter";
   if has_token ~qualified:true line "Hashtbl.fold" then add "hashtbl-fold";
   if has_token line "failwith" then add "naked-failwith";
-  if
-    has_token ~qualified:true line "Sys.time"
-    || has_token ~qualified:true line "Unix.time"
-    || has_token ~qualified:true line "Unix.gettimeofday"
-  then add "wall-clock";
-  if has_token ~qualified:true line "Obj.magic" then add "obj-magic";
   (* Qualified uses of the domain-parallelism modules ([Domain.spawn],
      [Mutex.lock], [Condition.wait], [Atomic.make], ...).  Matching on the
      module path catches every entry point without enumerating them. *)
@@ -513,16 +175,6 @@ let check_line ~floats ~modstate ~allochot line =
        done)
      [ "Domain."; "Mutex."; "Condition."; "Atomic." ];
    if !hit then add "domain-safety");
-  (* Global Random calls; the seeded Random.State API is fine. *)
-  (let n = String.length line and w = "Random." in
-   for k = 0 to n - String.length w - 1 do
-     if
-       String.sub line k (String.length w) = w
-       && (k = 0 || (line.[k - 1] <> '.' && not (is_ident_char line.[k - 1])))
-       && not
-            (k + 13 <= n && String.sub line (k + String.length w) 6 = "State.")
-     then add "global-random"
-   done);
   !hits
 
 let lint_file findings path =
@@ -533,15 +185,6 @@ let lint_file findings path =
   let stripped, comments = strip src in
   let allowed, file_allowed = allowances comments in
   let lines = String.split_on_char '\n' stripped in
-  (* Path scoping: float equality is policed on the metrics/bounds
-     arithmetic paths; module-level state everywhere except lib/util
-     (whose containers — pools, interners — are the sanctioned homes for
-     it). *)
-  let floats =
-    in_dir path "lib/core" || in_dir path "lib/replica"
-    || in_dir path "lib/protocols" || in_dir path "lib/check"
-  in
-  let modstate = not (in_dir path "lib/util") in
   let allochot = in_dir path "lib/store" || in_dir path "lib/sim" in
   List.iteri
     (fun idx line ->
@@ -556,7 +199,7 @@ let lint_file findings path =
             findings :=
               { file = path; line = lno; frule = r; snippet = String.trim line }
               :: !findings)
-        (check_line ~floats ~modstate ~allochot line))
+        (check_line ~allochot line))
     lines
 
 let rec walk findings path =

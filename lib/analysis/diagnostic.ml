@@ -26,7 +26,6 @@ let compare a b =
     | c -> c)
   | c -> c
 
-(* lint: allow polymorphic-compare — this module's own compare *)
 let sort ds = List.sort compare ds
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds

@@ -123,7 +123,7 @@ let validate ~n t =
    dependency is inverted through a registration point: [Tact_analysis.Guard]
    installs itself here and {!System.create} calls through.  Unset, the hook
    is free. *)
-(* lint: allow module-state -- intentional dependency-inversion point, set
+(* SA030/SA020 baselined -- intentional dependency-inversion point, set
    once at startup by Tact_analysis.Guard and never per-run, so replayed
    executions all observe the same hook *)
 let analyze_hook : (n:int -> t -> unit) option ref = ref None

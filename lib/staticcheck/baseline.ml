@@ -1,0 +1,44 @@
+module SSet = Set.Make (String)
+
+type t = SSet.t
+
+let empty = SSet.empty
+let of_keys keys = SSet.of_list (List.map String.trim keys)
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if String.length line = 0 || line.[0] = '#' then None
+           else Some line)
+    |> SSet.of_list
+  end
+
+let mem t f = SSet.mem (Report.key f) t
+let keys t = SSet.elements t
+
+let render findings =
+  let keys =
+    SSet.elements (SSet.of_list (List.map Report.key findings))
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# tact_analyze baseline: one accepted finding key per line.\n\
+     # Regenerate with: dune exec bin/tact_analyze.exe -- --update-baseline\n";
+  List.iter
+    (fun k ->
+      Buffer.add_string b k;
+      Buffer.add_char b '\n')
+    keys;
+  Buffer.contents b
+
+let save path findings =
+  let oc = open_out_bin path in
+  output_string oc (render findings);
+  close_out oc

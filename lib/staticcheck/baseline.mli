@@ -1,0 +1,23 @@
+(** The checked-in findings baseline.
+
+    A baseline file holds one {!Report.key} per line ([#] comments and
+    blank lines ignored).  Keys carry no line numbers, so baselined
+    findings survive unrelated code motion; [--update-baseline] rewrites
+    the file sorted and de-duplicated, which keeps regeneration
+    deterministic. *)
+
+type t
+
+val empty : t
+val of_keys : string list -> t
+val load : string -> t
+(** Missing file = empty baseline. *)
+
+val mem : t -> Report.finding -> bool
+val keys : t -> string list  (** sorted, unique *)
+
+val save : string -> Report.finding list -> unit
+(** Write the findings' keys as a baseline file. *)
+
+val render : Report.finding list -> string
+(** The file contents [save] writes. *)

@@ -1,0 +1,68 @@
+let lib_dir dir =
+  String.length dir >= 4 && String.equal (String.sub dir 0 4) "lib/"
+
+let float_dirs = [ "lib/core"; "lib/replica"; "lib/protocols"; "lib/check" ]
+
+let ctxt (r : Summary.vref) tail =
+  (if String.equal r.r_def "" then "(toplevel)" else r.r_def) ^ ":" ^ tail
+
+(* [Extern] paths arrive alias-chased, so [module S = Stdlib ... S.compare]
+   shows up here as ["Stdlib"; "compare"]. *)
+let check_ref path (r : Summary.vref) =
+  match r.r_target with
+  | Summary.Extern [ "compare" ] | Summary.Extern [ "Stdlib"; "compare" ] ->
+    Some
+      (Report.finding ~rule_id:"SA040" ~path ~loc:r.r_loc
+         ~context:(ctxt r "compare")
+         "polymorphic compare walks arbitrary structure and breaks on \
+          functional values; use a typed compare")
+  | Summary.Extern (("Unix" | "Stdlib") :: ([ "time" ] | [ "gettimeofday" ]))
+  | Summary.Extern [ "Sys"; "time" ] ->
+    Some
+      (Report.finding ~rule_id:"SA041" ~path ~loc:r.r_loc
+         ~context:(ctxt r "wall-clock")
+         "wall-clock read breaks simulation determinism; use the simulated \
+          clock")
+  | Summary.Extern ("Random" :: tail)
+    when tail <> [] && not (String.equal (List.hd tail) "State") ->
+    Some
+      (Report.finding ~rule_id:"SA042" ~path ~loc:r.r_loc
+         ~context:(ctxt r ("Random." ^ String.concat "." tail))
+         "global Random state breaks run-to-run determinism; use a seeded \
+          Random.State")
+  | Summary.Extern [ "Obj"; "magic" ] ->
+    Some
+      (Report.finding ~rule_id:"SA043" ~path ~loc:r.r_loc
+         ~context:(ctxt r "Obj.magic") "Obj.magic defeats the type system")
+  | _ -> None
+
+let run sums =
+  let findings = ref [] in
+  List.iter
+    (fun (s : Summary.t) ->
+      let src = s.sum_source in
+      let path = src.Loader.s_path in
+      if lib_dir src.Loader.s_dir then
+        List.iter
+          (fun r ->
+            match check_ref path r with
+            | Some f -> findings := f :: !findings
+            | None -> ())
+          s.sum_refs;
+      if List.mem src.Loader.s_dir float_dirs then
+        List.iter
+          (fun (fe : Summary.float_eq) ->
+            findings :=
+              Report.finding ~rule_id:"SA044" ~path ~loc:fe.fe_loc
+                ~context:
+                  ((if String.equal fe.fe_def "" then "(toplevel)"
+                    else fe.fe_def)
+                  ^ ":" ^ fe.fe_op)
+                (Printf.sprintf
+                   "exact float (%s) comparison on a metrics/bounds path; \
+                    compare against an epsilon"
+                   fe.fe_op)
+              :: !findings)
+          s.sum_float_eqs)
+    sums;
+  Report.dedup !findings

@@ -1,0 +1,13 @@
+(** The determinism pass: scope-aware replacements for the textual
+    wall-clock / global-Random / polymorphic-compare / Obj.magic /
+    float-equality rules.
+
+    Because references arrive pre-resolved from {!Summary}, a local
+    [let compare] or a shadowed [Random] no longer trips the rules, while
+    [module S = Stdlib ... S.compare] does.
+
+    Scoping mirrors the old textual linter: [SA040]–[SA043] fire under
+    [lib/] only; [SA044] (exact float equality) on the metrics/bounds
+    paths [lib/core], [lib/replica], [lib/protocols] and [lib/check]. *)
+
+val run : Summary.t list -> Report.finding list

@@ -1,0 +1,37 @@
+(** The cross-module reference graph derived from summaries.
+
+    Two views: module-level edges (one per referencing site, for the
+    layering pass and for [tact_analyze --graph] dumps) and value-level
+    adjacency (the call graph the race pass traverses). *)
+
+type node = { n_dir : string; n_mod : string }
+
+type edge = {
+  e_src : node;
+  e_dst : node;
+  e_loc : Location.t;
+  e_def : string;  (** the definition the reference sits in *)
+}
+
+type t
+
+val build : Summary.t list -> t
+
+val summaries : t -> Summary.t list
+(** In load order (sorted by path). *)
+
+val find : t -> dir:string -> modname:string -> Summary.t option
+
+val module_edges : t -> edge list
+(** One edge per distinct (src, dst) module pair, keeping the first
+    referencing location; sorted. *)
+
+val value_refs : t -> node -> string -> Summary.vref list
+(** The references recorded inside one top-level definition of a module —
+    the adjacency the race pass walks.  [[]] for unknown nodes or defs. *)
+
+val defines : Summary.t -> string -> bool
+(** Is the name a top-level definition of the module? *)
+
+val mutable_global : Summary.t -> string -> Summary.mutable_global option
+(** The module's (non-[Sync]) mutable global of that name, if any. *)

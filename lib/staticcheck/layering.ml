@@ -1,0 +1,154 @@
+type layer = { l_name : string; l_dirs : string list; l_deps : string list }
+
+type rules = {
+  layers : layer list;
+  restricts : (string * string list) list;  (* project module -> layers *)
+  externals : (string * string list) list;  (* external module -> layers *)
+}
+
+let split_ws s =
+  List.filter (fun t -> String.length t > 0) (String.split_on_char ' ' s)
+
+let split_arrow tokens =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | "->" :: rest -> (List.rev acc, rest)
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] tokens
+
+let parse_rules text =
+  let lines = String.split_on_char '\n' text in
+  let err lno msg =
+    Error (Printf.sprintf "layering.rules:%d: %s" lno msg)
+  in
+  let rec go lno acc = function
+    | [] ->
+      Ok
+        {
+          layers = List.rev acc.layers;
+          restricts = List.rev acc.restricts;
+          externals = List.rev acc.externals;
+        }
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.map (fun c -> if c = '\t' then ' ' else c) line in
+      match split_ws (String.trim line) with
+      | [] -> go (lno + 1) acc rest
+      | "layer" :: name :: spec ->
+        let dirs, deps = split_arrow spec in
+        if dirs = [] then err lno ("layer " ^ name ^ " declares no directory")
+        else
+          go (lno + 1)
+            { acc with
+              layers = { l_name = name; l_dirs = dirs; l_deps = deps }
+                       :: acc.layers }
+            rest
+      | "restrict" :: m :: spec ->
+        let pre, layers = split_arrow spec in
+        if pre <> [] then err lno "restrict takes one module, then -> LAYERS"
+        else go (lno + 1) { acc with restricts = (m, layers) :: acc.restricts } rest
+      | "external" :: m :: spec ->
+        let pre, layers = split_arrow spec in
+        if pre <> [] then err lno "external takes one module, then -> LAYERS"
+        else go (lno + 1) { acc with externals = (m, layers) :: acc.externals } rest
+      | tok :: _ -> err lno ("unknown declaration " ^ tok))
+  in
+  go 1 { layers = []; restricts = []; externals = [] } lines
+
+let load_rules path =
+  match open_in_bin path with
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    parse_rules text
+  | exception Sys_error e -> Error e
+
+let layer_of rules dir =
+  List.find_map
+    (fun l -> if List.mem dir l.l_dirs then Some l.l_name else None)
+    rules.layers
+
+let allowed rules ~src_layer ~dst_layer =
+  String.equal src_layer dst_layer
+  ||
+  match List.find_opt (fun l -> String.equal l.l_name src_layer) rules.layers with
+  | None -> false
+  | Some l -> List.mem "*" l.l_deps || List.mem dst_layer l.l_deps
+
+let run rules graph =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  List.iter
+    (fun (s : Summary.t) ->
+      let src = s.sum_source in
+      let path = src.Loader.s_path in
+      match layer_of rules src.Loader.s_dir with
+      | None ->
+        add
+          (Report.finding ~rule_id:"SA013" ~path
+             ~loc:Location.none ~context:"unmapped"
+             (Printf.sprintf
+                "directory %s is not assigned to any layer in the rules file"
+                src.Loader.s_dir))
+      | Some src_layer ->
+        List.iter
+          (fun (r : Summary.vref) ->
+            let ctxt m = (if String.equal r.r_def "" then "(toplevel)" else r.r_def) ^ ":" ^ m in
+            match r.r_target with
+            | Summary.Proj { p_dir; p_mod; _ }
+              when not (String.equal p_dir src.Loader.s_dir) -> (
+              (match layer_of rules p_dir with
+              | Some dst_layer when not (allowed rules ~src_layer ~dst_layer) ->
+                add
+                  (Report.finding ~rule_id:"SA010" ~path ~loc:r.r_loc
+                     ~context:(ctxt (if String.equal p_mod "" then p_dir else p_mod))
+                     (Printf.sprintf
+                        "layer %s may not depend on layer %s (reference to \
+                         %s under %s)"
+                        src_layer dst_layer
+                        (if String.equal p_mod "" then p_dir else p_mod)
+                        p_dir))
+              | _ -> ());
+              match List.assoc_opt p_mod rules.restricts with
+              | Some layers when not (List.mem src_layer layers) ->
+                add
+                  (Report.finding ~rule_id:"SA011" ~path ~loc:r.r_loc
+                     ~context:(ctxt p_mod)
+                     (Printf.sprintf
+                        "module %s is restricted to layers [%s]; %s is not \
+                         among them"
+                        p_mod (String.concat " " layers) src_layer))
+              | _ -> ())
+            | Summary.Extern (head :: _) -> (
+              (* a restricted project module that resolution could not pin
+                 to a directory (partial loads, fixtures) still counts *)
+              (match List.assoc_opt head rules.restricts with
+              | Some layers when not (List.mem src_layer layers) ->
+                add
+                  (Report.finding ~rule_id:"SA011" ~path ~loc:r.r_loc
+                     ~context:(ctxt head)
+                     (Printf.sprintf
+                        "module %s is restricted to layers [%s]; %s is not \
+                         among them"
+                        head (String.concat " " layers) src_layer))
+              | _ -> ());
+              match List.assoc_opt head rules.externals with
+              | Some layers when not (List.mem src_layer layers) ->
+                add
+                  (Report.finding ~rule_id:"SA012" ~path ~loc:r.r_loc
+                     ~context:(ctxt head)
+                     (Printf.sprintf
+                        "external module %s is restricted to layers [%s]; %s \
+                         is not among them"
+                        head (String.concat " " layers) src_layer))
+              | _ -> ())
+            | _ -> ())
+          s.sum_refs)
+    (Graph.summaries graph);
+  Report.dedup !findings

@@ -1,0 +1,31 @@
+(** The layering pass: the architecture as data.
+
+    [analysis/layering.rules] declares the layer table; this pass checks
+    every cross-module reference in the graph against it:
+
+    - [SA010] a module references a layer its own layer may not depend on;
+    - [SA011] a [restrict]ed project module (e.g. [Pool]) is referenced
+      from a layer not on its allow list;
+    - [SA012] a [restrict]ed external module (e.g. [Domain], [Unix]) is
+      referenced from a layer not on its allow list;
+    - [SA013] a file lives under no declared layer.
+
+    Rules file grammar (one declaration per line, [#] comments):
+    {v
+    layer NAME DIR ... [-> DEP ...]     DEP: layer names, or * for any
+    restrict MODULE [-> LAYER ...]      project module, by module name
+    external MODULE [-> LAYER ...]      external module, by head name
+    v} *)
+
+type rules
+
+val parse_rules : string -> (rules, string) result
+(** Parse rules text; the error names the offending line. *)
+
+val load_rules : string -> (rules, string) result
+(** Read and parse a rules file. *)
+
+val layer_of : rules -> string -> string option
+(** The layer a directory belongs to, if declared. *)
+
+val run : rules -> Graph.t -> Report.finding list

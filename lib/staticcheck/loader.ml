@@ -1,0 +1,119 @@
+type source = {
+  s_path : string;
+  s_dir : string;
+  s_module : string;
+  s_ast : Parsetree.structure option;
+  s_error : (int * int * string) option;
+}
+
+type t = {
+  sources : source list;
+  dirs : (string * string list) list;
+}
+
+let normalize path = String.concat "/" (String.split_on_char '\\' path)
+
+let dir_of path =
+  match String.rindex_opt path '/' with
+  | None -> "."
+  | Some i -> String.sub path 0 i
+
+let module_of path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+let pos_info (p : Lexing.position) =
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let load_string ~path src =
+  let path = normalize path in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  let ast, error =
+    match Parse.implementation lexbuf with
+    | ast -> (Some ast, None)
+    | exception Syntaxerr.Error e ->
+      let loc = Syntaxerr.location_of_error e in
+      let l, c = pos_info loc.Location.loc_start in
+      (None, Some (l, c, "syntax error"))
+    | exception Lexer.Error (_, loc) ->
+      let l, c = pos_info loc.Location.loc_start in
+      (None, Some (l, c, "lexer error"))
+    | exception _ -> (None, Some (1, 0, "parse error"))
+  in
+  {
+    s_path = path;
+    s_dir = dir_of path;
+    s_module = module_of path;
+    s_ast = ast;
+    s_error = error;
+  }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  load_string ~path src
+
+let of_sources sources =
+  let sources =
+    List.sort (fun a b -> String.compare a.s_path b.s_path) sources
+  in
+  let dirs =
+    List.fold_left
+      (fun acc s ->
+        let cur = match List.assoc_opt s.s_dir acc with
+          | Some ms -> ms
+          | None -> []
+        in
+        (s.s_dir, s.s_module :: cur) :: List.remove_assoc s.s_dir acc)
+      [] sources
+  in
+  let dirs =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun (d, ms) -> (d, List.sort String.compare ms)) dirs)
+  in
+  { sources; dirs }
+
+let rec walk acc root rel =
+  let full = if String.equal root "." then rel else Filename.concat root rel in
+  if Sys.file_exists full && Sys.is_directory full then
+    Array.fold_left
+      (fun acc entry -> walk acc root (rel ^ "/" ^ entry))
+      acc
+      (let entries = Sys.readdir full in
+       Array.sort String.compare entries;
+       entries)
+  else if Sys.file_exists full && Filename.check_suffix full ".ml" then
+    load_string ~path:rel
+      (let ic = open_in_bin full in
+       let len = in_channel_length ic in
+       let src = really_input_string ic len in
+       close_in ic;
+       src)
+    :: acc
+  else acc
+
+let load_dirs ?(root = ".") dirs =
+  of_sources (List.fold_left (fun acc d -> walk acc root d) [] dirs)
+
+let modules_in_dir t dir =
+  match List.assoc_opt dir t.dirs with Some ms -> ms | None -> []
+
+let find_module t ~dir name =
+  List.find_opt
+    (fun s -> String.equal s.s_dir dir && String.equal s.s_module name)
+    t.sources
+
+let wrapper_dir name =
+  let prefix = "Tact_" in
+  let plen = String.length prefix in
+  if
+    String.length name > plen
+    && String.equal (String.sub name 0 plen) prefix
+  then
+    Some ("lib/" ^ String.lowercase_ascii
+            (String.sub name plen (String.length name - plen)))
+  else None

@@ -1,0 +1,44 @@
+(** Parse the tree's [.ml] files into real parsetrees.
+
+    A {!source} carries the repo-relative path, the directory it was found
+    under (the layering unit, e.g. ["lib/core"]), the module name derived
+    from the filename, and either a parsetree or the parse error.  Loading
+    never raises on bad input: a file that does not parse becomes a source
+    with [s_ast = None] and the analyzer reports it as SA001. *)
+
+type source = {
+  s_path : string;  (** repo-relative, '/'-separated *)
+  s_dir : string;  (** directory component, e.g. ["lib/util"] or ["bin"] *)
+  s_module : string;  (** ["Pool"] for [lib/util/pool.ml] *)
+  s_ast : Parsetree.structure option;
+  s_error : (int * int * string) option;  (** line, col, message *)
+}
+
+type t = {
+  sources : source list;  (** sorted by path *)
+  dirs : (string * string list) list;  (** dir -> sorted module names *)
+}
+
+val load_string : path:string -> string -> source
+(** Parse [src] as if read from [path] (used by tests to inject synthetic
+    modules without touching disk). *)
+
+val load_file : string -> source
+
+val of_sources : source list -> t
+(** Index a source list (sorts, builds the per-directory module table). *)
+
+val load_dirs : ?root:string -> string list -> t
+(** Walk each directory recursively, loading every [.ml] file.  Paths in
+    the result are relative to [root] (default ["."]).  Missing directories
+    are skipped silently so the analyzer can run on partial checkouts. *)
+
+val modules_in_dir : t -> string -> string list
+(** Sorted module names under a directory; [[]] when unknown. *)
+
+val find_module : t -> dir:string -> string -> source option
+
+val wrapper_dir : string -> string option
+(** [wrapper_dir "Tact_util"] is [Some "lib/util"]: the dune library
+    wrapper-module naming convention used across this repo.  [None] for
+    names without the [Tact_] prefix. *)

@@ -1,0 +1,19 @@
+(** The domain-race pass.
+
+    From every [Pool.submit]/[Pool.post]/[Pool.map_list] call site the pass
+    walks the value-level reference graph of the submitted task and flags
+    mutable state that parallel tasks can reach without going through the
+    [Sync] wrappers in [lib/util/sync.ml]:
+
+    - [SA020] a module-level mutable value (of this module or another
+      project module) mutated or reachable from inside a pool task;
+    - [SA021] a locally bound mutable value captured by the task closure
+      and mutated inside it;
+    - [SA030] module-level mutable state as such (the scope-aware
+      replacement of the textual [module-state] rule), under [lib/] but
+      outside [lib/util].
+
+    Everything defined under [lib/util] is the sanctioned concurrency
+    boundary and is never traversed or flagged. *)
+
+val run : Graph.t -> Report.finding list

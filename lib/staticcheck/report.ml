@@ -1,0 +1,320 @@
+type severity = Error | Warning | Info
+
+type rule = { id : string; title : string; advice : string; severity : severity }
+
+let rules =
+  [
+    { id = "SA001"; title = "syntax-error";
+      advice = "the file does not parse; the AST passes cannot see it";
+      severity = Error };
+    { id = "SA010"; title = "layer-violation";
+      advice =
+        "dependency not allowed by analysis/layering.rules; lower layers \
+         must not reach up";
+      severity = Error };
+    { id = "SA011"; title = "restricted-module";
+      advice =
+        "this project module is restricted to designated layers \
+         (analysis/layering.rules `restrict`); route through the sanctioned \
+         wrapper instead";
+      severity = Error };
+    { id = "SA012"; title = "restricted-external";
+      advice =
+        "this external module is restricted to designated layers \
+         (analysis/layering.rules `external`)";
+      severity = Error };
+    { id = "SA013"; title = "unmapped-file";
+      advice =
+        "file is under no layer in analysis/layering.rules; add its \
+         directory to a layer";
+      severity = Warning };
+    { id = "SA020"; title = "domain-race";
+      advice =
+        "module-level mutable state is reachable from a Pool task without \
+         going through the Sync wrappers; parallel tasks may race on it";
+      severity = Error };
+    { id = "SA021"; title = "captured-mutation";
+      advice =
+        "a Pool task closure mutates state captured from the enclosing \
+         scope; use Sync.Cell/Sync.Counter/Sync.Map or return a value";
+      severity = Error };
+    { id = "SA030"; title = "module-state";
+      advice =
+        "mutable module-level state breaks re-entrancy; the interleaving \
+         checker replays runs in-process, so scope it inside a value";
+      severity = Warning };
+    { id = "SA040"; title = "polymorphic-compare";
+      advice =
+        "polymorphic compare; use a typed one (Int.compare, Float.compare, \
+         Write.compare_id, ...)";
+      severity = Error };
+    { id = "SA041"; title = "wall-clock";
+      advice =
+        "wall-clock read breaks simulation determinism; use the engine's \
+         virtual time";
+      severity = Error };
+    { id = "SA042"; title = "global-random";
+      advice =
+        "global Random state breaks run-to-run determinism; use a seeded \
+         Random.State";
+      severity = Error };
+    { id = "SA043"; title = "obj-magic";
+      advice = "Obj.magic defeats the type system";
+      severity = Error };
+    { id = "SA044"; title = "float-equal";
+      advice =
+        "float =/<> against a literal is exact; use Float.equal or an \
+         epsilon comparison (metrics/bounds arithmetic accumulates rounding \
+         error)";
+      severity = Warning };
+  ]
+
+let rule id =
+  match List.find_opt (fun r -> String.equal r.id id) rules with
+  | Some r -> r
+  | None -> invalid_arg ("Report.rule: unknown rule id " ^ id)
+
+type finding = {
+  f_rule : rule;
+  f_path : string;
+  f_line : int;
+  f_col : int;
+  f_context : string;
+  f_message : string;
+}
+
+let finding ~rule_id ~path ~loc ~context message =
+  let p = loc.Location.loc_start in
+  {
+    f_rule = rule rule_id;
+    f_path = path;
+    f_line = p.Lexing.pos_lnum;
+    f_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    f_context = context;
+    f_message = message;
+  }
+
+let key f = Printf.sprintf "%s %s %s" f.f_rule.id f.f_path f.f_context
+
+let compare_findings a b =
+  match String.compare a.f_path b.f_path with
+  | 0 -> (
+    match Int.compare a.f_line b.f_line with
+    | 0 -> (
+      match Int.compare a.f_col b.f_col with
+      | 0 -> (
+        match String.compare a.f_rule.id b.f_rule.id with
+        | 0 -> String.compare a.f_context b.f_context
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let dedup fs =
+  let sorted = List.sort compare_findings fs in
+  let rec go = function
+    | a :: b :: rest
+      when String.equal (key a) (key b) && a.f_line = b.f_line
+           && a.f_col = b.f_col ->
+      go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go sorted
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s %s] %s\n  %s" f.f_path f.f_line (f.f_col + 1)
+    f.f_rule.id f.f_rule.title f.f_message f.f_rule.advice
+
+(* --- JSON -------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string ?(indent = true) t =
+    let buf = Buffer.create 1024 in
+    let pad d = if indent then Buffer.add_string buf (String.make (2 * d) ' ') in
+    let nl () = if indent then Buffer.add_char buf '\n' in
+    let rec go d t =
+      match t with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num f -> Buffer.add_string buf (num_to_string f)
+      | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+      | Arr [] -> Buffer.add_string buf "[]"
+      | Arr xs ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (d + 1);
+            go (d + 1) x)
+          xs;
+        nl ();
+        pad d;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj kvs ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (d + 1);
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\": ";
+            go (d + 1) v)
+          kvs;
+        nl ();
+        pad d;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+end
+
+let json_of_finding ~baselined f =
+  Json.Obj
+    [
+      ("rule", Json.Str f.f_rule.id);
+      ("title", Json.Str f.f_rule.title);
+      ("severity", Json.Str (severity_name f.f_rule.severity));
+      ("path", Json.Str f.f_path);
+      ("line", Json.Num (float_of_int f.f_line));
+      ("col", Json.Num (float_of_int (f.f_col + 1)));
+      ("context", Json.Str f.f_context);
+      ("message", Json.Str f.f_message);
+      ("baselined", Json.Bool (baselined f));
+    ]
+
+let json_of ~baselined fs =
+  Json.to_string (Json.Arr (List.map (json_of_finding ~baselined) fs))
+
+(* --- SARIF 2.1.0 ------------------------------------------------------- *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let sarif_of ~baselined fs =
+  let rule_meta r =
+    Json.Obj
+      [
+        ("id", Json.Str r.id);
+        ("name", Json.Str r.title);
+        ("shortDescription", Json.Obj [ ("text", Json.Str r.advice) ]);
+        ( "defaultConfiguration",
+          Json.Obj [ ("level", Json.Str (sarif_level r.severity)) ] );
+      ]
+  in
+  let rule_index r =
+    let rec idx i = function
+      | [] -> -1
+      | x :: rest -> if String.equal x.id r.id then i else idx (i + 1) rest
+    in
+    idx 0 rules
+  in
+  let result f =
+    Json.Obj
+      [
+        ("ruleId", Json.Str f.f_rule.id);
+        ("ruleIndex", Json.Num (float_of_int (rule_index f.f_rule)));
+        ("level", Json.Str (sarif_level f.f_rule.severity));
+        ("message", Json.Obj [ ("text", Json.Str f.f_message) ]);
+        ( "locations",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ( "physicalLocation",
+                    Json.Obj
+                      [
+                        ( "artifactLocation",
+                          Json.Obj [ ("uri", Json.Str f.f_path) ] );
+                        ( "region",
+                          Json.Obj
+                            [
+                              ("startLine", Json.Num (float_of_int f.f_line));
+                              ( "startColumn",
+                                Json.Num (float_of_int (f.f_col + 1)) );
+                            ] );
+                      ] );
+                ];
+            ] );
+        ( "partialFingerprints",
+          Json.Obj [ ("tactAnalyzeKey/v1", Json.Str (key f)) ] );
+        ( "baselineState",
+          Json.Str (if baselined f then "unchanged" else "new") );
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ( "$schema",
+           Json.Str
+             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+         );
+         ("version", Json.Str "2.1.0");
+         ( "runs",
+           Json.Arr
+             [
+               Json.Obj
+                 [
+                   ( "tool",
+                     Json.Obj
+                       [
+                         ( "driver",
+                           Json.Obj
+                             [
+                               ("name", Json.Str "tact_analyze");
+                               ( "informationUri",
+                                 Json.Str "doc/ANALYSIS.md" );
+                               ("rules", Json.Arr (List.map rule_meta rules));
+                             ] );
+                       ] );
+                   ("results", Json.Arr (List.map result fs));
+                 ];
+             ] );
+       ])

@@ -1,0 +1,137 @@
+(* Blank out comments and string/char literals, preserving line structure.
+   Records each comment's text and starting line so allow-annotations survive
+   the stripping.  Handles nested comments, escaped quotes, CRLF line
+   endings, and [{id|...|id}] quoted strings (ids may contain underscores;
+   bodies may contain [|}]-lookalikes shorter than the real delimiter). *)
+
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let comments = ref [] in
+  let line = ref 1 in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, possibly nested *)
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2;
+          if !depth = 0 then continue := false
+        end
+        else begin
+          Buffer.add_char buf c;
+          blank !i;
+          incr i
+        end
+      done;
+      comments := (start_line, Buffer.contents buf) :: !comments
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '\\' && !i + 1 < n then begin
+          (* the escaped character may itself be a newline (string
+             line-continuation): it must still advance the line counter, or
+             every comment recorded after it lands one line short and
+             allow-annotations stop covering their targets.  A CRLF
+             continuation escapes the CR; the LF that follows is consumed by
+             the ordinary branch on the next iteration and counted there. *)
+          bump src.[!i + 1];
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          blank !i;
+          incr i;
+          if c = '"' then continue := false
+        end
+      done
+    end
+    else if c = '{' && !i + 1 < n then begin
+      (* quoted string {id|...|id}; the id is lowercase letters and
+         underscores (OCaml manual: quoted-string-id) *)
+      let j = ref (!i + 1) in
+      while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let delim = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
+        let dlen = String.length delim in
+        let fin = ref (!j + 1) in
+        while
+          !fin + dlen <= n && not (String.equal (String.sub src !fin dlen) delim)
+        do
+          incr fin
+        done;
+        let stop = min n (!fin + dlen) in
+        while !i < stop do
+          bump src.[!i];
+          blank !i;
+          incr i
+        done
+      end
+      else begin
+        incr i
+      end
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && (src.[!i + 1] <> '\\' && src.[!i + 2] = '\'')
+      && not (!i > 0 && is_ident_char src.[!i - 1])
+    then begin
+      (* plain char literal — but not the prime in [x'] or a type variable *)
+      bump src.[!i + 1];
+      blank !i;
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 3
+    end
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      (* escaped char literal '\n', '\\', '\123', '\x41' *)
+      blank !i;
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        bump c;
+        blank !i;
+        incr i;
+        if c = '\'' then continue := false
+      done
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  (Bytes.to_string out, !comments)

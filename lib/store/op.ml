@@ -10,7 +10,7 @@ type t =
 
 and proc = { name : string; size : int; body : Db.t -> outcome }
 
-(* lint: allow module-state -- write-once procedure table: applications
+(* SA030/SA020 baselined -- write-once procedure table: applications
    register procedures at startup, before any simulation runs, and replay
    only reads it, so re-entrancy is preserved *)
 let registry : (string, Value.t -> Db.t -> outcome) Hashtbl.t = Hashtbl.create 16

@@ -28,7 +28,6 @@ let rec compare a b =
   | Str a, Str b -> String.compare a b
   | Str _, _ -> -1
   | _, Str _ -> 1
-  (* lint: allow polymorphic-compare — recursing with this module's compare *)
   | List a, List b -> List.compare compare a b
 
 let to_int = function

@@ -1,0 +1,19 @@
+(* Planted domain-race fixture for test/test_staticcheck.ml: module-level
+   Hashtbl mutated from inside a Pool.map_list task, plus a captured local
+   ref.  Never compiled — the analyzer tests only parse it.  The twin in
+   synced.ml routes the same shape through Sync and must stay clean. *)
+
+let counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  let n = try Hashtbl.find counts k with Not_found -> 0 in
+  Hashtbl.replace counts k (n + 1)
+
+let tally pool keys =
+  let total = ref 0 in
+  Pool.map_list pool
+    (fun k ->
+      incr total;
+      Hashtbl.replace counts k 1;
+      bump k)
+    keys

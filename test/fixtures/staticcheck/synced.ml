@@ -1,0 +1,10 @@
+(* The Sync-wrapped twin of racy.ml: same shape, but the shared table is a
+   Sync.Map and the task mutates nothing else — the race pass must not
+   flag anything here. *)
+
+let counts : (string, int) Sync.Map.t = Sync.Map.create 16
+
+let bump k =
+  Sync.Map.update counts k (function None -> Some 1 | Some n -> Some (n + 1))
+
+let tally pool keys = Pool.map_list pool (fun k -> bump k) keys

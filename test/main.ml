@@ -30,5 +30,7 @@ let () =
       ("sanitize", Test_sanitize.suite);
       ("check", Test_check.suite);
       ("nemesis", Test_nemesis.suite);
+      ("strip", Test_strip.suite);
+      ("staticcheck", Test_staticcheck.suite);
       ("smoke", Test_smoke.suite);
     ]

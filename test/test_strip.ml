@@ -1,0 +1,110 @@
+(* The comment/string stripper shared by tact_lint and tact_analyze:
+   blanking must never leak literal contents into the lintable text, and
+   line structure must survive exactly (allow-annotations are addressed by
+   line number). *)
+
+module Strip = Tact_staticcheck.Strip
+
+let lines s = List.length (String.split_on_char '\n' s)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let check_gone src needle =
+  let stripped, _ = Strip.strip src in
+  Alcotest.(check bool)
+    (Printf.sprintf "%S blanked" needle)
+    false (contains stripped needle);
+  Alcotest.(check int) "line count preserved" (lines src) (lines stripped)
+
+let test_comment_blanked () =
+  check_gone "let x = 1 (* compare *)\nlet y = 2\n" "compare";
+  let _, comments = Strip.strip "let x = 1\n(* note\n   more *)\nlet y = 2\n" in
+  Alcotest.(check (list (pair int string)))
+    "comment text and start line recorded"
+    [ (2, " note\n   more ") ]
+    comments
+
+let test_nested_comment () =
+  check_gone "(* a (* inner *) b *) let z = 1\n" "inner";
+  check_gone "(* a (* inner *) b *) let z = 1\n" "b *)"
+
+let test_string_blanked () =
+  check_gone {|let s = "compare (* not a comment *)"|} "compare";
+  (* a comment-opener inside the string must not open a comment *)
+  let stripped, comments =
+    Strip.strip {|let s = "(*" let live = 1|}
+  in
+  Alcotest.(check bool) "code after string survives" true
+    (contains stripped "let live = 1");
+  Alcotest.(check int) "no comment recorded" 0 (List.length comments)
+
+let test_escaped_quote () =
+  check_gone {|let s = "a\"compare\"b" let t = 1|} "compare";
+  let stripped, _ = Strip.strip {|let s = "a\"b" let live = 1|} in
+  Alcotest.(check bool) "code after escape survives" true
+    (contains stripped "let live = 1")
+
+let test_quoted_string () =
+  check_gone "let s = {q|compare \"inside\"|q} let t = 1\n" "compare";
+  let stripped, _ = Strip.strip "let s = {q|x|q} let live = 1\n" in
+  Alcotest.(check bool) "code after quoted string survives" true
+    (contains stripped "let live = 1")
+
+(* The underscore-delimiter bug: [{my_id|...|my_id}] used to fall out of
+   the quoted-string scanner at the '_', desyncing on any quote or
+   lookalike terminator inside the literal. *)
+let test_quoted_string_underscore_id () =
+  let src =
+    "let s = {my_id|don't \"worry\" |x} |myid} here|my_id}\nlet live = compare\n"
+  in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check bool) "literal blanked" false (contains stripped "worry");
+  Alcotest.(check bool) "lookalike terminator skipped" false
+    (contains stripped "here");
+  Alcotest.(check bool) "next line intact" true
+    (contains stripped "let live = compare");
+  Alcotest.(check int) "line count preserved" (lines src) (lines stripped);
+  Alcotest.(check int) "no comment recorded" 0 (List.length comments)
+
+let test_crlf_line_numbers () =
+  let src = "let a = 1\r\n(* note *)\r\nlet b = \"compare\"\r\nlet c = 3\r\n" in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check int) "line count preserved" (lines src) (lines stripped);
+  Alcotest.(check (list (pair int string))) "comment on line 2"
+    [ (2, " note ") ] comments;
+  Alcotest.(check bool) "string blanked" false (contains stripped "compare")
+
+let test_char_literals () =
+  let stripped, comments = Strip.strip "let c = '\"' let live = 1\n" in
+  Alcotest.(check bool) "quote char does not open a string" true
+    (contains stripped "let live = 1");
+  Alcotest.(check int) "no comment" 0 (List.length comments);
+  (* primes: [x'] is an identifier, not a char literal *)
+  let stripped, _ = Strip.strip "let x' = 1 let y = x'\n" in
+  Alcotest.(check bool) "primed identifier intact" true
+    (contains stripped "let y = x'")
+
+let test_string_line_continuation () =
+  (* an escaped newline inside a string still advances the line counter *)
+  let src = "let s = \"a\\\n  b\"\n(* here *)\nlet t = 1\n" in
+  let _, comments = Strip.strip src in
+  Alcotest.(check (list (pair int string))) "comment line survives continuation"
+    [ (3, " here ") ] comments
+
+let suite =
+  [
+    Alcotest.test_case "comment blanked and recorded" `Quick test_comment_blanked;
+    Alcotest.test_case "nested comments" `Quick test_nested_comment;
+    Alcotest.test_case "string literals blanked" `Quick test_string_blanked;
+    Alcotest.test_case "escaped quotes" `Quick test_escaped_quote;
+    Alcotest.test_case "quoted strings {id|..|id}" `Quick test_quoted_string;
+    Alcotest.test_case "underscore delimiter ids" `Quick
+      test_quoted_string_underscore_id;
+    Alcotest.test_case "CRLF keeps line numbers" `Quick test_crlf_line_numbers;
+    Alcotest.test_case "char literals" `Quick test_char_literals;
+    Alcotest.test_case "string line continuation" `Quick
+      test_string_line_continuation;
+  ]
