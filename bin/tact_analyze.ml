@@ -1,54 +1,75 @@
 (* tact_analyze — the AST-based static analyzer.
 
-   Parses the tree with compiler-libs, builds per-module summaries and the
-   cross-module reference graph, then runs the layering, domain-race and
-   determinism passes (see doc/ANALYSIS.md for the SA0xx catalogue).
+   Parses the tree with compiler-libs, builds per-module summaries, the
+   cross-module reference graph and the value-level call graph, then runs
+   the layering, domain-race, determinism, interface and interprocedural
+   effect passes (see doc/ANALYSIS.md for the SA0xx catalogue).
 
    Usage:
-     tact_analyze [--rules FILE] [--baseline FILE] [--update-baseline]
-                  [--json] [--sarif FILE] [--graph] [DIR ...]
+     tact_analyze [--rules FILE] [--effect-rules FILE] [--baseline FILE]
+                  [--update-baseline] [--json] [--sarif FILE] [--graph]
+                  [--dot FILE] [--effects] [--why SYMBOL] [DIR ...]
 
    Defaults: DIRs = lib bin bench, rules = analysis/layering.rules,
-   baseline = analysis/tact_analyze.baseline.  Exit 1 when any finding is
-   not covered by the baseline. *)
+   effect rules = analysis/effects.rules, baseline =
+   analysis/tact_analyze.baseline.  test/ and examples/ are always loaded
+   as reference-only sources: their references keep exported API alive for
+   SA004, but no findings are reported on them.  Exit 1 when any finding
+   is not covered by the baseline. *)
 
 open Tact_staticcheck
 
 let usage () =
   prerr_endline
-    "usage: tact_analyze [--rules FILE] [--baseline FILE] \
-     [--update-baseline] [--json] [--sarif FILE] [--graph] [DIR ...]";
+    "usage: tact_analyze [--rules FILE] [--effect-rules FILE] \
+     [--baseline FILE] [--update-baseline] [--json] [--sarif FILE] \
+     [--graph] [--dot FILE] [--effects] [--why SYMBOL] [DIR ...]";
   exit 2
 
 type opts = {
   mutable rules_file : string;
+  mutable effect_rules_file : string;
   mutable baseline_file : string;
   mutable update_baseline : bool;
   mutable json : bool;
   mutable sarif : string option;
   mutable graph_dump : bool;
+  mutable dot : string option;
+  mutable effects_only : bool;
+  mutable why : string option;
   mutable dirs : string list;
 }
 
 let parse_args () =
   let o =
     { rules_file = "analysis/layering.rules";
+      effect_rules_file = "analysis/effects.rules";
       baseline_file = "analysis/tact_analyze.baseline";
       update_baseline = false;
       json = false;
       sarif = None;
       graph_dump = false;
+      dot = None;
+      effects_only = false;
+      why = None;
       dirs = [] }
   in
   let rec go = function
     | [] -> ()
     | "--rules" :: f :: rest -> o.rules_file <- f; go rest
+    | "--effect-rules" :: f :: rest -> o.effect_rules_file <- f; go rest
     | "--baseline" :: f :: rest -> o.baseline_file <- f; go rest
     | "--update-baseline" :: rest -> o.update_baseline <- true; go rest
     | "--json" :: rest -> o.json <- true; go rest
     | "--sarif" :: f :: rest -> o.sarif <- Some f; go rest
     | "--graph" :: rest -> o.graph_dump <- true; go rest
-    | ("--rules" | "--baseline" | "--sarif") :: [] -> usage ()
+    | "--dot" :: f :: rest -> o.dot <- Some f; go rest
+    | "--effects" :: rest -> o.effects_only <- true; go rest
+    | "--why" :: s :: rest -> o.why <- Some s; go rest
+    | ("--rules" | "--effect-rules" | "--baseline" | "--sarif" | "--dot"
+      | "--why")
+      :: [] ->
+      usage ()
     | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
     | d :: rest -> o.dirs <- d :: o.dirs; go rest
   in
@@ -57,7 +78,9 @@ let parse_args () =
   else o.dirs <- List.rev o.dirs;
   o
 
-let syntax_findings (loaded : Loader.t) =
+let ref_dirs = [ "test"; "examples" ]
+
+let syntax_findings (sources : Loader.source list) =
   List.filter_map
     (fun (s : Loader.source) ->
       match s.s_error with
@@ -73,7 +96,7 @@ let syntax_findings (loaded : Loader.t) =
         Some
           (Report.finding ~rule_id:"SA001" ~path:s.s_path ~loc
              ~context:"syntax" msg))
-    loaded.sources
+    sources
 
 let dump_graph graph =
   List.iter
@@ -85,46 +108,107 @@ let dump_graph graph =
         (if String.equal e.e_def "" then "(toplevel)" else e.e_def))
     (Graph.module_edges graph)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
 let () =
   let o = parse_args () in
   let loaded = Loader.load_dirs o.dirs in
-  let sums =
-    List.map (Summary.of_source loaded) loaded.Loader.sources
-  in
+  let sums = List.map (Summary.of_source loaded) loaded.Loader.sources in
   let graph = Graph.build sums in
   if o.graph_dump then begin
     dump_graph graph;
     exit 0
   end;
-  let layering =
-    if Sys.file_exists o.rules_file then
-      match Layering.load_rules o.rules_file with
-      | Ok rules -> Layering.run rules graph
+  (* The effect rules feed the fixpoint; without the file the effect
+     passes are skipped (--why/--dot still work on the bare graph). *)
+  let effect_rules, have_effect_rules =
+    if Sys.file_exists o.effect_rules_file then
+      match Effects.parse_rules (read_file o.effect_rules_file) with
+      | Ok r -> (r, true)
       | Error e ->
-        Printf.eprintf "tact_analyze: %s\n" e;
+        Printf.eprintf "tact_analyze: %s: %s\n" o.effect_rules_file e;
         exit 2
     else begin
       Printf.eprintf
-        "tact_analyze: note: %s not found, skipping layering pass\n"
-        o.rules_file;
-      []
+        "tact_analyze: note: %s not found, skipping effect passes\n"
+        o.effect_rules_file;
+      (Effects.empty_rules, false)
     end
   in
+  let cg = Callgraph.build graph in
+  let eff = Effects.infer effect_rules graph cg in
+  (match o.dot with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Callgraph.dot cg);
+    close_out oc
+  | None -> ());
+  (match o.why with
+  | Some sym ->
+    List.iter print_endline (Effects.why eff sym);
+    exit 0
+  | None -> ());
+  let effect_findings = if have_effect_rules then Effects.run eff else [] in
   let findings =
-    Report.dedup
-      (syntax_findings loaded @ layering @ Races.run graph
-      @ Determinism.run sums)
+    if o.effects_only then Report.dedup effect_findings
+    else begin
+      let layering =
+        if Sys.file_exists o.rules_file then
+          match Layering.load_rules o.rules_file with
+          | Ok rules -> Layering.run rules graph
+          | Error e ->
+            Printf.eprintf "tact_analyze: %s\n" e;
+            exit 2
+        else begin
+          Printf.eprintf
+            "tact_analyze: note: %s not found, skipping layering pass\n"
+            o.rules_file;
+          []
+        end
+      in
+      (* test/ and examples/ join the universe for SA004 only: their
+         references count, their findings do not. *)
+      let ref_loaded = Loader.load_dirs ref_dirs in
+      let all =
+        Loader.of_sources (loaded.Loader.sources @ ref_loaded.Loader.sources)
+      in
+      let sums_all = List.map (Summary.of_source all) all.Loader.sources in
+      let graph_all = Graph.build sums_all in
+      Report.dedup
+        (syntax_findings loaded.Loader.sources
+        @ layering @ Races.run graph @ Determinism.run sums
+        @ Interfaces.run ~analyzed:o.dirs graph_all
+        @ effect_findings)
+    end
   in
+  let old_baseline = Baseline.load o.baseline_file in
+  let stale = Baseline.stale old_baseline findings in
   if o.update_baseline then begin
     Baseline.save o.baseline_file findings;
-    Printf.printf "tact_analyze: wrote %d baseline entr%s to %s\n"
+    Printf.printf "tact_analyze: wrote %d baseline entr%s to %s%s\n"
       (List.length findings)
       (if List.length findings = 1 then "y" else "ies")
-      o.baseline_file;
+      o.baseline_file
+      (match List.length stale with
+      | 0 -> ""
+      | n -> Printf.sprintf " (pruned %d stale)" n);
     exit 0
   end;
-  let baseline = Baseline.load o.baseline_file in
-  let baselined = Baseline.mem baseline in
+  (* A stale key matches nothing: the finding it excused is gone, so the
+     entry only masks future regressions that happen to collide with it. *)
+  if (not o.effects_only) && stale <> [] then begin
+    Printf.eprintf
+      "tact_analyze: warning: %d stale baseline key(s) in %s (prune with \
+       --update-baseline):\n"
+      (List.length stale) o.baseline_file;
+    List.iter (fun k -> Printf.eprintf "  %s\n" k) stale
+  end;
+  let baselined = Baseline.mem old_baseline in
   let fresh = List.filter (fun f -> not (baselined f)) findings in
   (match o.sarif with
   | Some path ->

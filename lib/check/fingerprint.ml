@@ -72,6 +72,8 @@ let compare_pending (t1, a1, s1) (t2, a2, s2) =
   | 0 -> ( match Int.compare a1 a2 with 0 -> String.compare s1 s2 | c -> c)
   | c -> c
 
+(* effects: pure — replay dedup relies on the fingerprint being a function
+   of the state alone; tact_analyze (SA064) verifies the claim. *)
 let state sys ~now pending =
   let h = ref fnv_offset in
   for i = 0 to Tact_replica.System.size sys - 1 do

@@ -23,6 +23,10 @@ let load path =
 let mem t f = SSet.mem (Report.key f) t
 let keys t = SSet.elements t
 
+let stale t findings =
+  let current = SSet.of_list (List.map Report.key findings) in
+  SSet.elements (SSet.diff t current)
+
 let render findings =
   let keys =
     SSet.elements (SSet.of_list (List.map Report.key findings))

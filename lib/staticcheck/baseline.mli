@@ -16,6 +16,10 @@ val load : string -> t
 val mem : t -> Report.finding -> bool
 val keys : t -> string list  (** sorted, unique *)
 
+val stale : t -> Report.finding list -> string list
+(** Baseline keys matching no current finding, sorted — entries that have
+    rotted and should be pruned ([--update-baseline] does). *)
+
 val save : string -> Report.finding list -> unit
 (** Write the findings' keys as a baseline file. *)
 

@@ -1,0 +1,102 @@
+(* Dead exported API (SA004): a value exported in a .mli but referenced by
+   no *other* module anywhere in the loaded universe — which, for this
+   pass, includes test/ and examples/ as reference-only sources, so a
+   value used only by tests is still counted as live.
+
+   Conservative by construction: a module that is the target of any bare
+   module reference from elsewhere (an [open], a [module X = Mod] alias
+   that Summary could not chase into a value path, an [include]) is
+   skipped entirely, because such references can reach every export
+   without naming it.  An interface that fails to parse is reported as
+   SA001 on the .mli path, mirroring implementations. *)
+
+module SSet = Set.Make (String)
+
+let mod_key dir m = dir ^ "//" ^ m
+
+(* prefix match: analyzed dir "lib" covers source dir "lib/store" *)
+let under dirs sdir =
+  List.exists
+    (fun d ->
+      String.equal d sdir
+      || String.length sdir > String.length d
+         && String.equal (String.sub sdir 0 (String.length d + 1)) (d ^ "/"))
+    dirs
+
+let run ~analyzed graph =
+  let sums = Graph.summaries graph in
+  (* One sweep over every reference in the universe: exact value uses and
+     bare-module uses, both keyed by target module. *)
+  let used = ref SSet.empty in
+  let bare = ref SSet.empty in
+  List.iter
+    (fun (s : Summary.t) ->
+      let here = s.sum_source.Loader.s_module in
+      let here_dir = s.sum_source.Loader.s_dir in
+      List.iter
+        (fun (r : Summary.vref) ->
+          match r.Summary.r_target with
+          | Summary.Proj { p_dir; p_mod; p_path }
+            when not
+                   (String.equal p_dir here_dir
+                   && String.equal p_mod here) ->
+            if String.equal p_path "" then
+              bare := SSet.add (mod_key p_dir p_mod) !bare
+            else
+              used := SSet.add (mod_key p_dir p_mod ^ "//" ^ p_path) !used
+          | _ -> ())
+        s.sum_refs)
+    sums;
+  let findings = ref [] in
+  List.iter
+    (fun (s : Summary.t) ->
+      let src = s.sum_source in
+      if under analyzed src.Loader.s_dir then
+        match src.Loader.s_intf with
+        | None -> ()
+        | Some intf -> (
+          match intf.Loader.i_error with
+          | Some (l, c, msg) ->
+            findings :=
+              Report.finding ~rule_id:"SA001" ~path:intf.Loader.i_path
+                ~loc:
+                  {
+                    Location.loc_start =
+                      { Lexing.pos_fname = intf.Loader.i_path; pos_lnum = l;
+                        pos_bol = 0; pos_cnum = c };
+                    loc_end =
+                      { Lexing.pos_fname = intf.Loader.i_path; pos_lnum = l;
+                        pos_bol = 0; pos_cnum = c };
+                    loc_ghost = false;
+                  }
+                ~context:"interface" ("interface does not parse: " ^ msg)
+              :: !findings
+          | None ->
+            let mk = mod_key src.Loader.s_dir src.Loader.s_module in
+            if not (SSet.mem mk !bare) then
+              List.iter
+                (fun (name, line) ->
+                  if not (SSet.mem (mk ^ "//" ^ name) !used) then
+                    findings :=
+                      Report.finding ~rule_id:"SA004" ~path:intf.Loader.i_path
+                        ~loc:
+                          {
+                            Location.loc_start =
+                              { Lexing.pos_fname = intf.Loader.i_path;
+                                pos_lnum = line; pos_bol = 0; pos_cnum = 0 };
+                            loc_end =
+                              { Lexing.pos_fname = intf.Loader.i_path;
+                                pos_lnum = line; pos_bol = 0; pos_cnum = 0 };
+                            loc_ghost = false;
+                          }
+                        ~context:
+                          (Printf.sprintf "val:%s.%s" src.Loader.s_module
+                             name)
+                        (Printf.sprintf
+                           "%s.%s is exported but no other module in \
+                            lib/bin/bench/test/examples references it"
+                           src.Loader.s_module name)
+                      :: !findings)
+                intf.Loader.i_vals))
+    sums;
+  Report.dedup !findings

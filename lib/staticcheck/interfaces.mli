@@ -1,0 +1,12 @@
+(** Dead exported API (SA004) over the parsed [.mli] interfaces.
+
+    [run ~analyzed graph] flags every value exported by a module under one
+    of the [analyzed] directories that no *other* module in [graph]'s
+    universe references.  Build the graph over the full reference universe
+    (lib/bin/bench plus test/examples) so test-only consumers keep an
+    export alive.  Modules that receive bare module references (opens,
+    unresolved aliases, includes) from elsewhere are skipped — those can
+    use any export without naming it.  Broken interfaces are reported as
+    SA001 on the [.mli] path. *)
+
+val run : analyzed:string list -> Graph.t -> Report.finding list

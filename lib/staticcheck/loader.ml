@@ -1,9 +1,17 @@
+type intf = {
+  i_path : string;
+  i_vals : (string * int) list;
+  i_error : (int * int * string) option;
+}
+
 type source = {
   s_path : string;
   s_dir : string;
   s_module : string;
   s_ast : Parsetree.structure option;
   s_error : (int * int * string) option;
+  s_comments : (int * string) list;
+  s_intf : intf option;
 }
 
 type t = {
@@ -25,7 +33,37 @@ let module_of path =
 let pos_info (p : Lexing.position) =
   (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
 
-let load_string ~path src =
+(* Exported value names (with the line of their [val] item) from a
+   signature.  Only top-level [val]s: values re-exported through nested
+   modules or module types are out of SA004's scope. *)
+let vals_of_signature (sg : Parsetree.signature) =
+  List.filter_map
+    (fun (item : Parsetree.signature_item) ->
+      match item.psig_desc with
+      | Psig_value vd ->
+        Some (vd.pval_name.txt, vd.pval_name.loc.loc_start.pos_lnum)
+      | _ -> None)
+    sg
+
+let load_intf ~path src =
+  let path = normalize path in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  let vals, error =
+    match Parse.interface lexbuf with
+    | sg -> (vals_of_signature sg, None)
+    | exception Syntaxerr.Error e ->
+      let loc = Syntaxerr.location_of_error e in
+      let l, c = pos_info loc.Location.loc_start in
+      ([], Some (l, c, "syntax error"))
+    | exception Lexer.Error (_, loc) ->
+      let l, c = pos_info loc.Location.loc_start in
+      ([], Some (l, c, "lexer error"))
+    | exception _ -> ([], Some (1, 0, "parse error"))
+  in
+  { i_path = path; i_vals = vals; i_error = error }
+
+let load_string ?intf ~path src =
   let path = normalize path in
   let lexbuf = Lexing.from_string src in
   Location.init lexbuf path;
@@ -41,20 +79,37 @@ let load_string ~path src =
       (None, Some (l, c, "lexer error"))
     | exception _ -> (None, Some (1, 0, "parse error"))
   in
+  let comments = List.rev (snd (Strip.strip src)) in
+  let intf =
+    match intf with
+    | None -> None
+    | Some isrc -> Some (load_intf ~path:(path ^ "i") isrc)
+  in
   {
     s_path = path;
     s_dir = dir_of path;
     s_module = module_of path;
     s_ast = ast;
     s_error = error;
+    s_comments = comments;
+    s_intf = intf;
   }
 
-let load_file path =
+let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  load_string ~path src
+  src
+
+let load_file path =
+  let mli = path ^ "i" in
+  let intf =
+    if Filename.check_suffix path ".ml" && Sys.file_exists mli then
+      Some (read_file mli)
+    else None
+  in
+  load_string ?intf ~path (read_file path)
 
 let of_sources sources =
   let sources =
@@ -87,13 +142,12 @@ let rec walk acc root rel =
        Array.sort String.compare entries;
        entries)
   else if Sys.file_exists full && Filename.check_suffix full ".ml" then
-    load_string ~path:rel
-      (let ic = open_in_bin full in
-       let len = in_channel_length ic in
-       let src = really_input_string ic len in
-       close_in ic;
-       src)
-    :: acc
+    (* pair the implementation with its sibling interface when present *)
+    let intf =
+      let mli = full ^ "i" in
+      if Sys.file_exists mli then Some (read_file mli) else None
+    in
+    load_string ?intf ~path:rel (read_file full) :: acc
   else acc
 
 let load_dirs ?(root = ".") dirs =

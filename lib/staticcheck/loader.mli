@@ -4,7 +4,19 @@
     under (the layering unit, e.g. ["lib/core"]), the module name derived
     from the filename, and either a parsetree or the parse error.  Loading
     never raises on bad input: a file that does not parse becomes a source
-    with [s_ast = None] and the analyzer reports it as SA001. *)
+    with [s_ast = None] and the analyzer reports it as SA001.
+
+    When a sibling [.mli] exists it is parsed too ({!intf}): the exported
+    [val] names feed the dead-exported-API pass (SA004), and an interface
+    that fails to parse is reported like an unparsable implementation. *)
+
+type intf = {
+  i_path : string;  (** the [.mli] path *)
+  i_vals : (string * int) list;
+      (** exported top-level value names with the 1-based line of the
+          [val] item, in signature order *)
+  i_error : (int * int * string) option;  (** line, col, message *)
+}
 
 type source = {
   s_path : string;  (** repo-relative, '/'-separated *)
@@ -12,6 +24,10 @@ type source = {
   s_module : string;  (** ["Pool"] for [lib/util/pool.ml] *)
   s_ast : Parsetree.structure option;
   s_error : (int * int * string) option;  (** line, col, message *)
+  s_comments : (int * string) list;
+      (** comments in source order, each with the 1-based line it opened
+          on — effect annotations and lint-allow markers live here *)
+  s_intf : intf option;  (** sibling [.mli], when one exists *)
 }
 
 type t = {
@@ -19,9 +35,10 @@ type t = {
   dirs : (string * string list) list;  (** dir -> sorted module names *)
 }
 
-val load_string : path:string -> string -> source
+val load_string : ?intf:string -> path:string -> string -> source
 (** Parse [src] as if read from [path] (used by tests to inject synthetic
-    modules without touching disk). *)
+    modules without touching disk).  [intf], when given, is the text of the
+    sibling interface, parsed as [path ^ "i"]. *)
 
 val load_file : string -> source
 
@@ -29,9 +46,10 @@ val of_sources : source list -> t
 (** Index a source list (sorts, builds the per-directory module table). *)
 
 val load_dirs : ?root:string -> string list -> t
-(** Walk each directory recursively, loading every [.ml] file.  Paths in
-    the result are relative to [root] (default ["."]).  Missing directories
-    are skipped silently so the analyzer can run on partial checkouts. *)
+(** Walk each directory recursively, loading every [.ml] file and pairing
+    each with its sibling [.mli] when present.  Paths in the result are
+    relative to [root] (default ["."]).  Missing directories are skipped
+    silently so the analyzer can run on partial checkouts. *)
 
 val modules_in_dir : t -> string -> string list
 (** Sorted module names under a directory; [[]] when unknown. *)

@@ -7,6 +7,12 @@ let rules =
     { id = "SA001"; title = "syntax-error";
       advice = "the file does not parse; the AST passes cannot see it";
       severity = Error };
+    { id = "SA004"; title = "dead-exported-api";
+      advice =
+        "exported in the .mli but referenced by no other module in the \
+         loaded universe (lib/bin/bench plus test/examples); narrow the \
+         interface or delete the value";
+      severity = Info };
     { id = "SA010"; title = "layer-violation";
       advice =
         "dependency not allowed by analysis/layering.rules; lower layers \
@@ -67,6 +73,60 @@ let rules =
          epsilon comparison (metrics/bounds arithmetic accumulates rounding \
          error)";
       severity = Warning };
+    { id = "SA050"; title = "det-core-wall-clock";
+      advice =
+        "a wall-clock read is transitively reachable from the \
+         deterministic core (effects.rules `root det`); a replay that \
+         consults real time cannot reproduce";
+      severity = Error };
+    { id = "SA051"; title = "det-core-random";
+      advice =
+        "unseeded global Random state is transitively reachable from the \
+         deterministic core; thread a seeded Random.State instead";
+      severity = Error };
+    { id = "SA052"; title = "det-core-hashtbl-order";
+      advice =
+        "Hashtbl iteration order is transitively reachable from the \
+         deterministic core; sort keys first or annotate the site \
+         order-independent (lint: allow hashtbl-...)";
+      severity = Error };
+    { id = "SA053"; title = "det-core-widened";
+      advice =
+        "the effect fixpoint lost track here: a function value read out \
+         of a mutable container is applied on a path reachable from the \
+         deterministic core, so its effects are unknown (widened to top); \
+         this is the analysis' trust seam — verify the stored functions \
+         by hand or restructure to direct calls";
+      severity = Warning };
+    { id = "SA060"; title = "pool-task-blocking-syscall";
+      advice =
+        "a blocking Unix syscall is reachable from a Pool task body; a \
+         blocked worker starves the fixed-size domain pool";
+      severity = Error };
+    { id = "SA061"; title = "pool-task-blocking-sync";
+      advice =
+        "Mutex.lock / Condition.wait / Domain spawn-join is reachable \
+         from a Pool task body; tasks that block on each other can \
+         deadlock the fixed worker set — use the Sync wrappers";
+      severity = Error };
+    { id = "SA062"; title = "pool-task-raises";
+      advice =
+        "an unhandled failwith/raise is reachable from a Pool task body; \
+         the exception is rethrown at await, cancelling sibling results — \
+         catch inside the task if partial results matter";
+      severity = Warning };
+    { id = "SA063"; title = "entrypoint-exception-escape";
+      advice =
+        "a failwith/raise chain reaches this bin/ entrypoint with no \
+         intervening handler; the tool dies with an uncaught exception \
+         instead of a usage message and exit code";
+      severity = Warning };
+    { id = "SA064"; title = "effect-annotation-drift";
+      advice =
+        "the definition is declared `(* effects: pure *)` but the \
+         inferred summary is not empty; fix the code or drop the \
+         annotation — checked documentation must not lie";
+      severity = Error };
   ]
 
 let rule id =

@@ -1,8 +1,10 @@
 (* Blank out comments and string/char literals, preserving line structure.
    Records each comment's text and starting line so allow-annotations survive
    the stripping.  Handles nested comments, escaped quotes, CRLF line
-   endings, and [{id|...|id}] quoted strings (ids may contain underscores;
-   bodies may contain [|}]-lookalikes shorter than the real delimiter). *)
+   endings, [{id|...|id}] quoted strings (ids may contain underscores;
+   bodies may contain [|}]-lookalikes shorter than the real delimiter), and
+   string/quoted-string literals *inside* comments — the OCaml lexer scans
+   those too, so a ["*)"] or [{|*)|}] in a comment does not end it. *)
 
 let strip src =
   let n = String.length src in
@@ -26,6 +28,12 @@ let strip src =
       let buf = Buffer.create 64 in
       let depth = ref 0 in
       let continue = ref true in
+      (* consume one already-bumped char into the comment text *)
+      let eat () =
+        Buffer.add_char buf src.[!i];
+        blank !i;
+        incr i
+      in
       while !continue && !i < n do
         let c = src.[!i] in
         bump c;
@@ -42,11 +50,83 @@ let strip src =
           i := !i + 2;
           if !depth = 0 then continue := false
         end
-        else begin
-          Buffer.add_char buf c;
-          blank !i;
-          incr i
+        else if c = '"' then begin
+          (* the compiler lexes string literals inside comments, so a ["*)"]
+             must not end the comment *)
+          eat ();
+          let instr = ref true in
+          while !instr && !i < n do
+            let c = src.[!i] in
+            bump c;
+            if c = '\\' && !i + 1 < n then begin
+              bump src.[!i + 1];
+              eat ();
+              eat ()
+            end
+            else begin
+              eat ();
+              if c = '"' then instr := false
+            end
+          done
         end
+        else if c = '{' && !i + 1 < n then begin
+          (* likewise [{id|...|id}] quoted strings inside comments *)
+          let j = ref (!i + 1) in
+          while
+            !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_')
+          do
+            incr j
+          done;
+          if !j < n && src.[!j] = '|' then begin
+            let delim = "|" ^ String.sub src (!i + 1) (!j - !i - 1) ^ "}" in
+            let dlen = String.length delim in
+            let fin = ref (!j + 1) in
+            while
+              !fin + dlen <= n
+              && not (String.equal (String.sub src !fin dlen) delim)
+            do
+              incr fin
+            done;
+            let stop = min n (!fin + dlen) in
+            eat ();
+            while !i < stop do
+              bump src.[!i];
+              eat ()
+            done
+          end
+          else eat ()
+        end
+        else if
+          c = '\''
+          && !i + 2 < n
+          && src.[!i + 1] <> '\\'
+          && src.[!i + 2] = '\''
+          && not (!i > 0 && is_ident_char src.[!i - 1])
+        then begin
+          (* char literals too: [(* '"' *)] must not open a string *)
+          bump src.[!i + 1];
+          eat ();
+          eat ();
+          eat ()
+        end
+        else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+          (* ['\n'], ['\\'], ['\123'], ['\x41'] — only with the closing
+             quote in reach, so a stray [' \ ] cannot overrun the comment *)
+          let close = ref (-1) in
+          let k = ref (!i + 2) in
+          while !close < 0 && !k < n && !k <= !i + 6 do
+            if src.[!k] = '\'' then close := !k else incr k
+          done;
+          match !close with
+          | -1 -> eat ()
+          | stop ->
+            eat ();
+            while !i <= stop do
+              bump src.[!i];
+              eat ()
+            done
+        end
+        else eat ()
       done;
       comments := (start_line, Buffer.contents buf) :: !comments
     end

@@ -13,7 +13,9 @@
     [{id|...|id}] quoted strings whose delimiter ids may contain underscores
     and whose bodies may contain [|}]-lookalike sequences, and char literals
     (['a'], ['\n'], ['\123']) without swallowing type variables or primes in
-    identifiers. *)
+    identifiers.  String, quoted-string and char literals {e inside}
+    comments are scanned the way the compiler's lexer scans them, so a
+    ["*)"] or [{|*)|}] in a comment does not terminate it. *)
 
 val strip : string -> string * (int * string) list
 (** [strip src] is [(stripped, comments)]; [comments] is in reverse source

@@ -14,8 +14,11 @@ type mutation = {
   mu_name : string;
   mu_target : target;
   mu_captured : bool;
+  mu_def : string;
   mu_loc : Location.t;
 }
+
+type escape = { esc_def : string; esc_what : string; esc_loc : Location.t }
 
 type pool_site = {
   ps_fn : string;
@@ -23,6 +26,8 @@ type pool_site = {
   ps_loc : Location.t;
   ps_refs : vref list;
   ps_mutations : mutation list;
+  ps_escapes : escape list;
+  ps_handles : bool;
 }
 
 type mutable_global = {
@@ -37,8 +42,12 @@ type float_eq = { fe_op : string; fe_def : string; fe_loc : Location.t }
 type t = {
   sum_source : Loader.source;
   sum_defs : string list;
+  sum_def_lines : (string * int) list;
   sum_globals : mutable_global list;
   sum_refs : vref list;
+  sum_mutations : mutation list;
+  sum_handlers : string list;
+  sum_escapes : escape list;
   sum_pool_sites : pool_site list;
   sum_float_eqs : float_eq list;
 }
@@ -51,7 +60,12 @@ let target_module = function
 
 (* --- walker state ------------------------------------------------------ *)
 
-type site_acc = { mutable a_refs : vref list; mutable a_muts : mutation list }
+type site_acc = {
+  mutable a_refs : vref list;
+  mutable a_muts : mutation list;
+  mutable a_escs : escape list;
+  mutable a_handles : bool;
+}
 
 type task = { t_acc : site_acc; t_locals : SSet.t }
 
@@ -70,8 +84,12 @@ type ctx = {
   src : Loader.source;
   mutable defs : SSet.t;  (* top-level value names seen so far, dotted *)
   mutable submodules : SSet.t;  (* nested module names, dotted *)
+  mutable def_lines : (string * int) list;
   mutable globals : mutable_global list;
   mutable refs : vref list;
+  mutable muts : mutation list;
+  mutable handlers : SSet.t;  (* defs containing a try-handler *)
+  mutable escapes : escape list;
   mutable sites : pool_site list;
   mutable feqs : float_eq list;
 }
@@ -273,22 +291,26 @@ let creator_of ctx env (e : Parsetree.expression) =
 (* --- expression walk --------------------------------------------------- *)
 
 let record_mutation ctx env op (arg : Parsetree.expression) loc =
-  ignore ctx;
-  match env.task with
-  | None -> ()
-  | Some tk -> (
-    match arg.Parsetree.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-      match flatten txt with
-      | Some path -> (
-        let name = String.concat "." path in
-        let t = resolve ctx env path in
-        let add captured =
-          tk.t_acc.a_muts <-
-            { mu_op = op; mu_name = name; mu_target = t;
-              mu_captured = captured; mu_loc = loc }
-            :: tk.t_acc.a_muts
-        in
+  match arg.Parsetree.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match flatten txt with
+    | Some path -> (
+      let name = String.concat "." path in
+      let t = resolve ctx env path in
+      let mk captured =
+        { mu_op = op; mu_name = name; mu_target = t;
+          mu_captured = captured; mu_def = env.def; mu_loc = loc }
+      in
+      (* module-level state touched from anywhere (task or not): the
+         effect pass turns these into Global_mutation atoms *)
+      (match t with
+      | (Self _ | Proj _) when not (sync_target t) ->
+        ctx.muts <- mk false :: ctx.muts
+      | _ -> ());
+      match env.task with
+      | None -> ()
+      | Some tk -> (
+        let add captured = tk.t_acc.a_muts <- mk captured :: tk.t_acc.a_muts in
         match t with
         | Local ->
           (* bound in the file: racy only if captured from outside the
@@ -296,9 +318,9 @@ let record_mutation ctx env op (arg : Parsetree.expression) loc =
           let base = match path with x :: _ -> x | [] -> "" in
           if not (SSet.mem base tk.t_locals) then add true
         | Self _ | Proj _ -> if not (sync_target t) then add false
-        | Extern _ -> ())
-      | None -> ())
-    | _ -> ())
+        | Extern _ -> ()))
+    | None -> ())
+  | _ -> ()
 
 let rec walk_expr ctx env (e : Parsetree.expression) =
   match e.pexp_desc with
@@ -312,7 +334,15 @@ let rec walk_expr ctx env (e : Parsetree.expression) =
     Option.iter (walk_expr ctx env) dflt;
     walk_expr ctx (bind_vals env (pat_vars pat)) body
   | Pexp_function cases -> walk_cases ctx env cases
-  | Pexp_match (e0, cases) | Pexp_try (e0, cases) ->
+  | Pexp_match (e0, cases) ->
+    walk_expr ctx env e0;
+    walk_cases ctx env cases
+  | Pexp_try (e0, cases) ->
+    (* a def with a handler absorbs the Raises atoms of its callees *)
+    ctx.handlers <- SSet.add env.def ctx.handlers;
+    (match env.task with
+    | Some tk -> tk.t_acc.a_handles <- true
+    | None -> ());
     walk_expr ctx env e0;
     walk_cases ctx env cases
   | Pexp_apply (f, args) -> walk_apply ctx env e f args
@@ -372,6 +402,36 @@ and walk_cases ctx env cases =
     cases
 
 and walk_apply ctx env e f args =
+  (* higher-order escape: applying a function fetched out of a record field
+     or a ref cell — the effect fixpoint cannot see through the container,
+     so these sites widen the caller's summary to ⊤ *)
+  (let record_escape what =
+     let esc =
+       { esc_def = env.def; esc_what = what; esc_loc = e.Parsetree.pexp_loc }
+     in
+     ctx.escapes <- esc :: ctx.escapes;
+     match env.task with
+     | Some tk -> tk.t_acc.a_escs <- esc :: tk.t_acc.a_escs
+     | None -> ()
+   in
+   match f.Parsetree.pexp_desc with
+   | Pexp_field (_, { txt = flid; _ }) ->
+     record_escape ("." ^ Longident.last flid)
+   | Pexp_apply (g, [ (Asttypes.Nolabel, cell) ]) -> (
+     match g.Parsetree.pexp_desc with
+     | Pexp_ident { txt = Lident "!"; _ }
+       when (not (SSet.mem "!" env.vals)) && not (SSet.mem "!" ctx.defs) ->
+       let nm =
+         match cell.Parsetree.pexp_desc with
+         | Pexp_ident { txt; _ } -> (
+           match flatten txt with
+           | Some p -> String.concat "." p
+           | None -> "?")
+         | _ -> "?"
+       in
+       record_escape ("!" ^ nm)
+     | _ -> ())
+   | _ -> ());
   (* mutators, the [:=]/[incr]/[decr] forms, and exact float equality *)
   (match f.Parsetree.pexp_desc with
   | Pexp_ident { txt; _ } -> (
@@ -420,7 +480,9 @@ and walk_apply ctx env e f args =
     List.iteri
       (fun i (_, a) ->
         if i = 1 then begin
-          let acc = { a_refs = []; a_muts = [] } in
+          let acc =
+            { a_refs = []; a_muts = []; a_escs = []; a_handles = false }
+          in
           let tenv =
             { env with task = Some { t_acc = acc; t_locals = SSet.empty } }
           in
@@ -432,6 +494,8 @@ and walk_apply ctx env e f args =
               ps_loc = e.Parsetree.pexp_loc;
               ps_refs = List.rev acc.a_refs;
               ps_mutations = List.rev acc.a_muts;
+              ps_escapes = List.rev acc.a_escs;
+              ps_handles = acc.a_handles;
             }
             :: ctx.sites
         end
@@ -499,6 +563,9 @@ and walk_item ctx env (item : Parsetree.structure_item) =
           | n :: _ -> env.prefix ^ n
           | [] -> env.prefix ^ "_"
         in
+        ctx.def_lines <-
+          (dname, vb.pvb_loc.Location.loc_start.Lexing.pos_lnum)
+          :: ctx.def_lines;
         (match creator_of ctx env vb.pvb_expr with
         | Some (creator, sync) ->
           ctx.globals <-
@@ -569,8 +636,12 @@ let of_source loader (src : Loader.source) =
       src;
       defs = SSet.empty;
       submodules = SSet.empty;
+      def_lines = [];
       globals = [];
       refs = [];
+      muts = [];
+      handlers = SSet.empty;
+      escapes = [];
       sites = [];
       feqs = [];
     }
@@ -581,8 +652,12 @@ let of_source loader (src : Loader.source) =
   {
     sum_source = src;
     sum_defs = SSet.elements ctx.defs;
+    sum_def_lines = List.rev ctx.def_lines;
     sum_globals = List.rev ctx.globals;
     sum_refs = List.rev ctx.refs;
+    sum_mutations = List.rev ctx.muts;
+    sum_handlers = SSet.elements ctx.handlers;
+    sum_escapes = List.rev ctx.escapes;
     sum_pool_sites = List.rev ctx.sites;
     sum_float_eqs = List.rev ctx.feqs;
   }

@@ -30,8 +30,20 @@ type mutation = {
   mu_name : string;  (** source name of the mutated identifier *)
   mu_target : target;
   mu_captured : bool;  (** bound outside the task closure but locally *)
+  mu_def : string;  (** enclosing top-level definition *)
   mu_loc : Location.t;
 }
+
+type escape = {
+  esc_def : string;  (** enclosing top-level definition *)
+  esc_what : string;
+      (** what was applied: [".field"] for a record-field function,
+          ["!name"] for a function read out of a ref cell *)
+  esc_loc : Location.t;
+}
+(** A higher-order escape: a function value fetched out of a mutable
+    container and applied.  The effect fixpoint cannot resolve the callee,
+    so the enclosing definition widens to ⊤ (SA053). *)
 
 type pool_site = {
   ps_fn : string;  (** ["submit"], ["post"] or ["map_list"] *)
@@ -39,6 +51,8 @@ type pool_site = {
   ps_loc : Location.t;
   ps_refs : vref list;  (** references inside the task argument *)
   ps_mutations : mutation list;  (** mutations inside the task argument *)
+  ps_escapes : escape list;  (** higher-order escapes inside the task *)
+  ps_handles : bool;  (** the task body contains a try-handler *)
 }
 
 type mutable_global = {
@@ -57,8 +71,18 @@ type float_eq = {
 type t = {
   sum_source : Loader.source;
   sum_defs : string list;  (** top-level value names, dotted when nested *)
+  sum_def_lines : (string * int) list;
+      (** definition name -> 1-based start line, in source order *)
   sum_globals : mutable_global list;
   sum_refs : vref list;  (** every non-local reference, in source order *)
+  sum_mutations : mutation list;
+      (** every [Self]/[Proj] non-[Sync] mutation in the module, whether or
+          not it sits inside a pool task — the raw material for
+          [Global_mutation] effect atoms *)
+  sum_handlers : string list;
+      (** definitions containing a [try] handler, sorted — these absorb
+          the [Raises] atoms of their callees *)
+  sum_escapes : escape list;  (** higher-order escapes, in source order *)
   sum_pool_sites : pool_site list;
   sum_float_eqs : float_eq list;
 }

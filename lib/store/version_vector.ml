@@ -10,6 +10,8 @@ let merge_into dst src =
   assert (Array.length dst = Array.length src);
   Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
 
+(* effects: pure — anti-entropy ordering decisions must depend on the two
+   vectors alone; tact_analyze (SA064) verifies the claim. *)
 let dominates a b =
   assert (Array.length a = Array.length b);
   let ok = ref true in

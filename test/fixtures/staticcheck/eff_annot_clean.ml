@@ -1,0 +1,5 @@
+(* Clean twin of eff_annot_dirty.ml: the annotation holds.  Loaded as
+   lib/core/annot_clean.ml. *)
+
+(* effects: pure *)
+let add a b = a + b

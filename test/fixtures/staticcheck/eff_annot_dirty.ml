@@ -1,0 +1,5 @@
+(* Dirty twin for SA064: the annotation claims purity but the body reads
+   the wall clock.  Loaded as lib/core/annot_dirty.ml. *)
+
+(* effects: pure *)
+let leak () = Unix.gettimeofday ()

@@ -1,0 +1,13 @@
+(* Clean twin of eff_det_dirty.ml: the same shape with an injected clock
+   value, seeded Random state, list iteration and a direct call through a
+   plain parameter (no record-field escape).  Loaded as
+   lib/core/det_clean.ml and declared a det root; must stay silent. *)
+let stamp now = int_of_float now
+let jitter st n = n + Random.State.int st 3
+let spread items = List.iter (fun (_, v) -> ignore v) items
+let fire f n = f n
+
+let run now st items f =
+  let t = jitter st (stamp now) in
+  spread items;
+  fire f t

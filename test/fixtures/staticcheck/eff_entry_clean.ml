@@ -1,0 +1,4 @@
+(* Clean twin of eff_entry_dirty.ml: the same dispatch wrapped in a
+   handler that prints and exits.  Loaded as bin/entry_clean.ml. *)
+let bail () = failwith "usage: entry"
+let () = try bail () with Failure msg -> prerr_endline msg

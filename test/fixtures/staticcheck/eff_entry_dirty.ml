@@ -1,0 +1,4 @@
+(* Dirty twin for SA063: the entrypoint dispatch can die on an uncaught
+   failwith reached through a helper.  Loaded as bin/entry_dirty.ml. *)
+let bail () = failwith "usage: entry"
+let () = bail ()

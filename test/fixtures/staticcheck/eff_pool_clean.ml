@@ -1,0 +1,8 @@
+(* Clean twin of eff_pool_dirty.ml: no blocking calls, and the raising
+   helper is wrapped in the task's own handler, which absorbs the escape.
+   Loaded as lib/core/pool_clean.ml; must stay silent. *)
+let boom () = failwith "boom"
+let work x = x + 1
+
+let go p xs =
+  Pool.map_list p (fun x -> try work (boom ()) with Failure _ -> work x) xs

@@ -1,0 +1,19 @@
+(* Dirty twin for the pool-task effect rules: the task body reaches a
+   Unix blocking call (SA060), a Mutex and a Domain.spawn (SA061) and a
+   naked failwith (SA062), all through helpers so only the
+   interprocedural fixpoint can see them.  Loaded as
+   lib/core/pool_dirty.ml. *)
+let nap () = Unix.sleepf 0.001
+let guard m = Mutex.lock m
+let fork f = ignore (Domain.spawn f)
+let boom () = failwith "boom"
+
+let go p m xs =
+  Pool.map_list p
+    (fun x ->
+      nap ();
+      guard m;
+      fork (fun () -> ());
+      boom ();
+      x)
+    xs

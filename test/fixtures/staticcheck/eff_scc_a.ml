@@ -1,0 +1,5 @@
+(* Half of a cross-module mutual recursion: ping <-> Scc_b.pong form one
+   SCC, and the wall-clock atom planted in [tick] must reach both members
+   through the fixpoint.  Loaded as lib/core/scc_a.ml. *)
+let tick () = Unix.gettimeofday ()
+let ping n = if n > 0 then Scc_b.pong (n - 1) else tick ()

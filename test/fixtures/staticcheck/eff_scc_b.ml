@@ -1,0 +1,3 @@
+(* Second half of the cross-module SCC; see eff_scc_a.ml.  Loaded as
+   lib/core/scc_b.ml. *)
+let pong n = Scc_a.ping n

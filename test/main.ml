@@ -32,5 +32,6 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("strip", Test_strip.suite);
       ("staticcheck", Test_staticcheck.suite);
+      ("effects", Test_effects.suite);
       ("smoke", Test_smoke.suite);
     ]

@@ -94,6 +94,47 @@ let test_string_line_continuation () =
   Alcotest.(check (list (pair int string))) "comment line survives continuation"
     [ (3, " here ") ] comments
 
+(* Literals *inside* comments are scanned the way the compiler's lexer
+   scans them: a "*)" sitting in a string, quoted string or char literal
+   within a comment must not terminate the comment. *)
+let test_comment_embedded_string () =
+  let src = "(* says \"*)\" here *) let live = 1\n" in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check bool) "string *) does not end the comment" true
+    (contains stripped "let live = 1");
+  Alcotest.(check bool) "comment tail blanked" false (contains stripped "here");
+  Alcotest.(check int) "one comment" 1 (List.length comments);
+  Alcotest.(check bool) "comment text recorded" true
+    (contains (snd (List.hd comments)) "says")
+
+let test_comment_embedded_quoted_string () =
+  let src = "(* {q|*)|q} tail *) let live = 1\n" in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check bool) "quoted-string *) does not end the comment" true
+    (contains stripped "let live = 1");
+  Alcotest.(check bool) "comment tail blanked" false (contains stripped "tail");
+  Alcotest.(check int) "one comment" 1 (List.length comments)
+
+let test_comment_embedded_char_and_prime () =
+  (* '"' must not open a string inside the comment, and the apostrophe in
+     a word must not start a char-literal scan that swallows the rest. *)
+  let src = "(* it's a '\"' char *) let live = 1\n" in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check bool) "comment ends where it ends" true
+    (contains stripped "let live = 1");
+  Alcotest.(check int) "one comment" 1 (List.length comments)
+
+let test_comment_crlf () =
+  let src = "(* one\r\n   \"*)\" two *)\r\nlet live = 1\r\n" in
+  let stripped, comments = Strip.strip src in
+  Alcotest.(check int) "line count preserved" (lines src) (lines stripped);
+  Alcotest.(check bool) "code survives" true (contains stripped "let live = 1");
+  match comments with
+  | [ (l, text) ] ->
+    Alcotest.(check int) "comment opens on line 1" 1 l;
+    Alcotest.(check bool) "both lines recorded" true (contains text "two")
+  | l -> Alcotest.failf "expected one comment, got %d" (List.length l)
+
 let suite =
   [
     Alcotest.test_case "comment blanked and recorded" `Quick test_comment_blanked;
@@ -107,4 +148,11 @@ let suite =
     Alcotest.test_case "char literals" `Quick test_char_literals;
     Alcotest.test_case "string line continuation" `Quick
       test_string_line_continuation;
+    Alcotest.test_case "string inside comment" `Quick
+      test_comment_embedded_string;
+    Alcotest.test_case "quoted string inside comment" `Quick
+      test_comment_embedded_quoted_string;
+    Alcotest.test_case "char literal inside comment" `Quick
+      test_comment_embedded_char_and_prime;
+    Alcotest.test_case "CRLF inside comment" `Quick test_comment_crlf;
   ]
