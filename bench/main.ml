@@ -19,6 +19,7 @@
      dune exec bench/main.exe -- E3 E12       # a subset, by id or name
      dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR4.json
      dune exec bench/main.exe -- --pr6        # batched-sync kernels -> BENCH_PR6.json
+     dune exec bench/main.exe -- --pr9        # sharding kernels -> BENCH_PR9.json
      dune exec bench/main.exe -- --compare A.json B.json  # per-kernel speedups
      dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard)
      dune exec bench/main.exe -- -j 4         # run experiments/kernels on a
@@ -639,6 +640,332 @@ let run_pr6 ~path =
   Printf.printf "wrote %s (cores=%d, ocaml %s)\n" path cores Sys.ocaml_version
 
 (* ------------------------------------------------------------------ *)
+(* PR9 kernels: flat wlog index, sharded conit space                   *)
+
+(* The per-delivery bookkeeping trace the write log executes: register the
+   write (duplicate-check + store), record its tentative outcome, then in
+   commit batches mark it committed and store the final outcome, and
+   finally shed it at truncation.  [wlog_index] runs this exact trace twice
+   in the same binary: against a mirror of the seed's Write.id-keyed
+   Hashtbl bookkeeping (four tables) and against a mirror of the flat
+   per-origin slot index that replaced it — the before/after pin for the
+   index swap.  [wlog_index_delivery] anchors the end-to-end number: the
+   real Wlog insert+commit path at E22 delivery scale. *)
+type wi_result = {
+  wi_writes : int;
+  wi_delivery_s : float;
+  wi_flat_s : float;
+  wi_hashtbl_s : float;
+}
+
+let kernel_wlog_index ~origins ~per_origin ~commit_batch () =
+  let writes = origins * per_origin in
+  (* End-to-end: in-order per-origin delivery (the E22 ring shape), periodic
+     stability commitment, an outcome probe per delivery. *)
+  let log = Wlog.create ~replicas:(origins + 1) ~initial:[] in
+  let t0 = Unix.gettimeofday () in
+  for seq = 1 to per_origin do
+    for o = 1 to origins do
+      let t = (float_of_int seq *. float_of_int origins) +. float_of_int o in
+      ignore (Wlog.insert log (bench_write ~origin:o ~seq ~t));
+      assert (Wlog.outcome log { Write.origin = o; seq } <> None)
+    done;
+    if seq mod commit_batch = 0 || seq = per_origin then begin
+      let cover = Array.make (origins + 1) infinity in
+      ignore (Wlog.commit_stable log ~cover)
+    end
+  done;
+  let delivery_s = Unix.gettimeofday () -. t0 in
+  assert (Wlog.num_known log = writes);
+  assert (Wlog.committed_count log = writes);
+  (* Bookkeeping-only replay of the same trace, first against the flat
+     per-origin slot index... *)
+  let module Flat = struct
+    type slot = {
+      mutable s_w : Write.t option;
+      mutable s_out : int;
+      mutable s_final : int;
+      mutable s_comm : bool;
+    }
+  end in
+  let open Flat in
+  let flat =
+    Array.init (origins + 1) (fun _ ->
+        Array.init per_origin (fun _ ->
+            { s_w = None; s_out = 0; s_final = 0; s_comm = false }))
+  in
+  let mk = bench_write in
+  let t1 = Unix.gettimeofday () in
+  for seq = 1 to per_origin do
+    for o = 1 to origins do
+      let s = flat.(o).(seq - 1) in
+      assert (s.s_w = None);  (* duplicate check *)
+      s.s_w <- Some (mk ~origin:o ~seq ~t:(float_of_int seq));
+      s.s_out <- seq
+    done;
+    if seq mod commit_batch = 0 || seq = per_origin then
+      for b = seq - commit_batch + 1 to seq do
+        if b >= 1 then
+          for o = 1 to origins do
+            let s = flat.(o).(b - 1) in
+            if not s.s_comm then begin
+              s.s_comm <- true;
+              s.s_final <- b
+            end
+          done
+      done
+  done;
+  for o = 1 to origins do
+    for i = 0 to per_origin - 1 do
+      flat.(o).(i).s_w <- None  (* truncation shed *)
+    done
+  done;
+  let flat_s = Unix.gettimeofday () -. t1 in
+  (* ...then against the seed's four Hashtbls. *)
+  let by_id : (Write.id, Write.t) Hashtbl.t = Hashtbl.create 1024 in
+  let committed_ids : (Write.id, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let outcomes : (Write.id, int) Hashtbl.t = Hashtbl.create 1024 in
+  let finals : (Write.id, int) Hashtbl.t = Hashtbl.create 1024 in
+  let t2 = Unix.gettimeofday () in
+  for seq = 1 to per_origin do
+    for o = 1 to origins do
+      let id = { Write.origin = o; seq } in
+      assert (Hashtbl.find_opt by_id id = None);  (* duplicate check *)
+      Hashtbl.replace by_id id (mk ~origin:o ~seq ~t:(float_of_int seq));
+      Hashtbl.replace outcomes id seq
+    done;
+    if seq mod commit_batch = 0 || seq = per_origin then
+      for b = seq - commit_batch + 1 to seq do
+        if b >= 1 then
+          for o = 1 to origins do
+            let id = { Write.origin = o; seq = b } in
+            if not (Hashtbl.mem committed_ids id) then begin
+              Hashtbl.replace committed_ids id ();
+              Hashtbl.replace finals id b
+            end
+          done
+      done
+  done;
+  for o = 1 to origins do
+    for seq = 1 to per_origin do
+      Hashtbl.remove by_id { Write.origin = o; seq }  (* truncation shed *)
+    done
+  done;
+  let hashtbl_s = Unix.gettimeofday () -. t2 in
+  assert (Hashtbl.length by_id = 0);
+  assert (Array.for_all (Array.for_all (fun s -> s.s_w = None)) flat);
+  { wi_writes = writes; wi_delivery_s = delivery_s; wi_flat_s = flat_s;
+    wi_hashtbl_s = hashtbl_s }
+
+(* The sharded workload the scaling and overhead kernels share: [shards]
+   shards over [n] replicas, conits pinned round-robin, [total] writes
+   spread millisecond-spaced across the shards, batched sync.  Building is
+   deterministic, so two instances run at different job counts must produce
+   byte-identical digests. *)
+let build_sharded_workload ~n ~shards ~overlap ~total () =
+  let open Tact_sim in
+  let open Tact_replica in
+  let nconits = 2 * shards in
+  let conit_name k = Printf.sprintf "c%02d" k in
+  let router =
+    Shard.with_table (Shard.by_hash ~shards)
+      (List.init nconits (fun k -> (conit_name k, k mod shards)))
+  in
+  let interest r =
+    List.init overlap (fun i -> (r + i) mod shards) |> List.sort_uniq Int.compare
+  in
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.5;
+      sync = Config.Batched;
+      batch_flush = 0.05;
+      record_accesses = false;
+      shards;
+      interest = (if overlap >= shards then None else Some interest);
+    }
+  in
+  let topology = Topology.uniform ~n ~latency:0.02 ~bandwidth:1e8 in
+  let sh = Sharded.create ~seed:9 ~jitter:0.02 ~router ~topology ~config () in
+  for k = 0 to total - 1 do
+    let s = k mod shards in
+    let conit = conit_name ((k mod nconits / shards * shards) + s) in
+    let members = Sharded.members sh s in
+    let writer = members.(k mod Array.length members) in
+    Engine.at (Sharded.engine sh ~shard:s)
+      ~time:(0.001 *. float_of_int (k + 1))
+      (fun () ->
+        Sharded.submit_write sh ~replica:writer ~deps:[]
+          ~affects:[ { Write.conit; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Add ("x:" ^ conit, 1.0))
+          ~k:ignore)
+  done;
+  (sh, (0.001 *. float_of_int total) +. 20.0)
+
+(* Same shape, unsharded: the plain-System twin of the 1-shard instance. *)
+let build_plain_workload ~n ~total () =
+  let open Tact_sim in
+  let open Tact_replica in
+  let config =
+    {
+      Config.default with
+      Config.antientropy_period = Some 0.5;
+      sync = Config.Batched;
+      batch_flush = 0.05;
+      record_accesses = false;
+    }
+  in
+  let topology = Topology.uniform ~n ~latency:0.02 ~bandwidth:1e8 in
+  let sys = System.create ~seed:9 ~jitter:0.02 ~topology ~config () in
+  for k = 0 to total - 1 do
+    let conit = Printf.sprintf "c%02d" (k mod 2) in
+    let writer = k mod n in
+    Engine.at (System.engine sys)
+      ~time:(0.001 *. float_of_int (k + 1))
+      (fun () ->
+        Replica.submit_write (System.replica sys writer) ~deps:[]
+          ~affects:[ { Write.conit; nweight = 1.0; oweight = 1.0 } ]
+          ~op:(Op.Add ("x:" ^ conit, 1.0))
+          ~k:ignore)
+  done;
+  (sys, (0.001 *. float_of_int total) +. 20.0)
+
+(* 1-shard sharded vs plain System on the same workload: the wrapper's cost
+   when sharding buys nothing.  The acceptance bar on a 1-core host is a
+   ratio within a few percent. *)
+type so_result = { so_total : int; so_plain_s : float; so_sharded_s : float }
+
+let kernel_shard_overhead ~n ~total () =
+  let open Tact_replica in
+  let sys, horizon = build_plain_workload ~n ~total () in
+  let t0 = Unix.gettimeofday () in
+  System.run ~until:horizon sys;
+  let plain_s = Unix.gettimeofday () -. t0 in
+  assert (System.converged sys);
+  let sh, horizon = build_sharded_workload ~n ~shards:1 ~overlap:1 ~total () in
+  let t1 = Unix.gettimeofday () in
+  Sharded.run ~jobs:1 ~until:horizon sh;
+  let sharded_s = Unix.gettimeofday () -. t1 in
+  assert (Sharded.converged sh);
+  { so_total = total; so_plain_s = plain_s; so_sharded_s = sharded_s }
+
+(* Shard engines across pool domains: fresh instances of the same workload
+   at each job count, digests asserted byte-identical, wall clock recorded.
+   Speedup needs real cores; on a 1-core host the point of the kernel is
+   that the digests still match. *)
+type ss_result = { ss_jobs : int; ss_seconds : float }
+
+let kernel_shard_scaling ~n ~shards ~overlap ~total ~jobs_list () =
+  let open Tact_replica in
+  let digests = ref [] in
+  let results =
+    List.map
+      (fun jobs ->
+        let sh, horizon =
+          build_sharded_workload ~n ~shards ~overlap ~total ()
+        in
+        let t0 = Unix.gettimeofday () in
+        Sharded.run ~jobs ~until:horizon sh;
+        let dt = Unix.gettimeofday () -. t0 in
+        assert (Sharded.converged sh);
+        assert (Sharded.shard_leaks sh = []);
+        digests := Sharded.digest sh :: !digests;
+        { ss_jobs = jobs; ss_seconds = dt })
+      jobs_list
+  in
+  (match !digests with
+  | d0 :: rest -> List.iter (fun d -> assert (String.equal d d0)) rest
+  | [] -> ());
+  results
+
+let pr9_json_report ~cores ~wi ~so ~ss ~st =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"cores\": %d,\n  \"ocaml_version\": %S,\n" cores
+       Sys.ocaml_version);
+  Buffer.add_string b "  \"kernels\": [\n";
+  let kernel ?(last = false) name n seconds =
+    Buffer.add_string b
+      (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"seconds\": %.6f}%s\n"
+         name n seconds
+         (if last then "" else ","))
+  in
+  kernel "wlog_index_delivery" wi.wi_writes wi.wi_delivery_s;
+  kernel "wlog_index_flat" wi.wi_writes wi.wi_flat_s;
+  kernel "wlog_index_hashtbl" wi.wi_writes wi.wi_hashtbl_s;
+  kernel "shard_overhead_plain" so.so_total so.so_plain_s;
+  kernel "shard_overhead_sharded1" so.so_total so.so_sharded_s;
+  List.iter
+    (fun r ->
+      kernel (Printf.sprintf "shard_scaling_j%d" r.ss_jobs) 1 r.ss_seconds)
+    ss;
+  kernel ~last:true "sync_traffic_batched" st.st_messages st.st_seconds;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"wlog_index\": {\"writes\": %d, \"delivery_ns_per_write\": %.0f, \
+        \"flat_ns_per_op\": %.1f, \"hashtbl_ns_per_op\": %.1f, \
+        \"bookkeeping_speedup\": %.2f},\n"
+       wi.wi_writes
+       (wi.wi_delivery_s *. 1e9 /. float_of_int wi.wi_writes)
+       (wi.wi_flat_s *. 1e9 /. float_of_int wi.wi_writes)
+       (wi.wi_hashtbl_s *. 1e9 /. float_of_int wi.wi_writes)
+       (wi.wi_hashtbl_s /. Float.max wi.wi_flat_s 1e-9));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"shard_overhead\": {\"writes\": %d, \"plain_seconds\": %.6f, \
+        \"sharded1_seconds\": %.6f, \"overhead_ratio\": %.4f},\n"
+       so.so_total so.so_plain_s so.so_sharded_s
+       (so.so_sharded_s /. Float.max so.so_plain_s 1e-9));
+  let base = match ss with r :: _ -> r.ss_seconds | [] -> 0.0 in
+  Buffer.add_string b "  \"shard_scaling\": {\"digests_identical\": true, \"points\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"seconds\": %.6f, \"speedup_vs_jobs1\": %.2f}"
+           r.ss_jobs r.ss_seconds
+           (base /. Float.max r.ss_seconds 1e-9)))
+    ss;
+  Buffer.add_string b "\n  ]}\n}\n";
+  Buffer.contents b
+
+let run_pr9 ~path =
+  Printf.printf "Sharded conit space kernels (PR9)\n%s\n" (String.make 78 '-');
+  let wi = kernel_wlog_index ~origins:16 ~per_origin:4_000 ~commit_batch:64 () in
+  Printf.printf
+    "%-28s n=%-7d delivery %6.0f ns/write   flat %5.1f ns/op   hashtbl %5.1f \
+     ns/op (%.1fx)\n%!"
+    "wlog_index" wi.wi_writes
+    (wi.wi_delivery_s *. 1e9 /. float_of_int wi.wi_writes)
+    (wi.wi_flat_s *. 1e9 /. float_of_int wi.wi_writes)
+    (wi.wi_hashtbl_s *. 1e9 /. float_of_int wi.wi_writes)
+    (wi.wi_hashtbl_s /. Float.max wi.wi_flat_s 1e-9);
+  let so = kernel_shard_overhead ~n:4 ~total:4_000 () in
+  Printf.printf
+    "%-28s n=%-7d plain %7.3f s   sharded(1) %7.3f s   ratio %.3f\n%!"
+    "shard_overhead" so.so_total so.so_plain_s so.so_sharded_s
+    (so.so_sharded_s /. Float.max so.so_plain_s 1e-9);
+  let ss =
+    kernel_shard_scaling ~n:8 ~shards:4 ~overlap:2 ~total:6_000
+      ~jobs_list:[ 1; 2; 4 ] ()
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s jobs=%-4d %10.3f s\n%!" "shard_scaling" r.ss_jobs
+        r.ss_seconds)
+    ss;
+  let st = run_sync_traffic ~sync:Tact_replica.Config.Batched ~writes:600 () in
+  Printf.printf "%-28s %7d msgs %9d B\n%!" "sync_traffic_batched"
+    st.st_messages st.st_bytes;
+  let cores = Domain.recommended_domain_count () in
+  let oc = open_out path in
+  output_string oc (pr9_json_report ~cores ~wi ~so ~ss ~st);
+  close_out oc;
+  Printf.printf "wrote %s (cores=%d, ocaml %s)\n" path cores Sys.ocaml_version
+
+(* ------------------------------------------------------------------ *)
 (* --compare: per-kernel speedup between two bench json files          *)
 
 (* Minimal scanner for the bench json we emit ourselves: pull each kernel
@@ -791,6 +1118,11 @@ let run_smoke ~jobs =
        ~preemptions:1 ~max_schedules:50 ());
   ignore (run_sync_traffic ~sync:Tact_replica.Config.Batched ~writes:40 ());
   ignore (kernel_round_alloc ~rounds:20 ~per_round:8 ());
+  ignore (kernel_wlog_index ~origins:4 ~per_origin:64 ~commit_batch:16 ());
+  ignore (kernel_shard_overhead ~n:3 ~total:200 ());
+  ignore
+    (kernel_shard_scaling ~n:4 ~shards:2 ~overlap:1 ~total:200
+       ~jobs_list:[ 1; max 2 jobs ] ());
   print_endline "bench smoke ok"
 
 let () =
@@ -809,6 +1141,7 @@ let () =
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
   let pr6 = List.mem "--pr6" args in
+  let pr9 = List.mem "--pr9" args in
   let compare_files =
     match args with
     | "--compare" :: a :: b :: _ -> Some (a, b)
@@ -836,6 +1169,8 @@ let () =
   if smoke then run_smoke ~jobs:!jobs
   else if pr6 then
     run_pr6 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR6.json" else out)
+  else if pr9 then
+    run_pr9 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR9.json" else out)
   else if json then run_json ~path:out ~jobs:!jobs
   else begin
     run_experiments ~quick:(not full) ~jobs:!jobs ~only;

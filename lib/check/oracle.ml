@@ -82,6 +82,31 @@ let check_converged sys =
     issues := "convergence: database images differ across replicas" :: !issues;
   List.rev !issues
 
+(* O3, interest-set-aware: convergence is per shard, among that shard's
+   subscribers only — a replica outside a shard's interest set holds nothing
+   of it and is exempt.  The containment half makes the relaxation sound:
+   every write resident in a shard's logs must affect only conits routing to
+   that shard, so a cross-shard leak (the planted [fault_wrong_shard] bug)
+   cannot hide behind per-shard agreement. *)
+let check_converged_sharded sh =
+  let issues = ref [] in
+  Sharded.iter_subs sh (fun s sys ->
+      List.iter
+        (fun line -> issues := Printf.sprintf "shard %d: %s" s line :: !issues)
+        (List.rev (check_converged sys)));
+  List.iter
+    (fun (s, r, id, conit) ->
+      issues :=
+        Printf.sprintf
+          "shard-leak: write %s at replica %d affects conit %s of shard %d \
+           but sits in shard %d's log"
+          (Write.id_to_string id) r conit
+          (Tact_store.Shard.route (Sharded.router sh) conit)
+          s
+        :: !issues)
+    (Sharded.shard_leaks sh);
+  List.rev !issues
+
 (* O4 (Theorem 1): independent of what any access requested, the NE actually
    experienced never exceeds the conit's declared system-wide bound — the
    bound the push protocol self-determines via per-writer budget shares.

@@ -35,5 +35,13 @@ val check_committed :
 val check_converged : Tact_replica.System.t -> string list
 (** O3: equal version vectors and database images after quiescence. *)
 
+val check_converged_sharded : Tact_replica.Sharded.t -> string list
+(** O3 for sharded systems, interest-set-aware: within every shard all
+    {e subscribed} replicas agree (vectors and databases) — replicas outside
+    the interest set are exempt — and no shard's log holds a write whose
+    conits route elsewhere ({!Tact_replica.Sharded.shard_leaks}).  The
+    second half is what catches the {!Tact_replica.Config.fault_wrong_shard}
+    planted routing bug. *)
+
 val check_theorem1 : Tact_replica.System.t -> string list
 (** O4: experienced NE within each conit's declared system-wide bound. *)

@@ -139,6 +139,13 @@ let all =
       paper_artifact = "extension: batched anti-entropy at 100-replica scale";
       run = E22_scale.run;
     };
+    {
+      id = "E23";
+      name = "shards";
+      paper_artifact =
+        "extension: sharded conit space, interest-set partial replication";
+      run = E23_shards.run;
+    };
   ]
 
 let run_all ?(jobs = 1) ?quick () =

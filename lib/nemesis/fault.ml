@@ -83,6 +83,68 @@ let clear_all sys =
     Replica.recover (System.replica sys r)
   done
 
+(* ------------------------------------------------------------------ *)
+(* Sharded systems                                                     *)
+
+(* A global action projected onto one shard's sub-system: group and replica
+   ids are filtered to the shard's subscribers and renumbered locally, so a
+   fault never reaches a replica through a shard it does not serve.  Global
+   knobs (loss, duplication, delay, bandwidth) apply to every shard's net;
+   their rng salt is offset by the shard id (shard 0 keeps the raw salt, so
+   a 1-shard system replays the unsharded draw stream exactly). *)
+let apply_in_shard sh s sys action =
+  let net = System.net sys in
+  let mem r = Sharded.subscribed sh ~shard:s r in
+  let loc r =
+    match Sharded.local_id sh ~shard:s r with
+    | Some l -> l
+    | None -> invalid_arg "Fault.apply_in_shard: non-member replica"
+  in
+  let proj g = List.filter_map (fun r -> if mem r then Some (loc r) else None) g in
+  let on_groups f a b =
+    let a' = proj a and b' = proj b in
+    if a' <> [] && b' <> [] then f a' b'
+  in
+  match action with
+  | Cut (a, b) -> on_groups (Tact_sim.Net.partition net) a b
+  | Cut_oneway (a, b) -> on_groups (Tact_sim.Net.partition_oneway net) a b
+  | Heal_between (a, b) -> on_groups (Tact_sim.Net.heal_between net) a b
+  | Heal_all -> Tact_sim.Net.heal net
+  | Crash r -> if mem r then Replica.crash (System.replica sys (loc r))
+  | Recover r -> if mem r then Replica.recover (System.replica sys (loc r))
+  | Recover_all ->
+    for l = 0 to System.size sys - 1 do
+      Replica.recover (System.replica sys l)
+    done
+  | Global_loss { rate; salt } ->
+    Tact_sim.Net.set_loss net (knob_rng ~salt:(salt + s) ~rate)
+  | Link_loss { src; dst; rate; salt } ->
+    if mem src && mem dst then
+      Tact_sim.Net.set_link_loss net ~src:(loc src) ~dst:(loc dst)
+        (knob_rng ~salt:(salt + s) ~rate)
+  | Duplication { rate; salt } ->
+    Tact_sim.Net.set_duplication net (knob_rng ~salt:(salt + s) ~rate)
+  | Delay_factor f -> Tact_sim.Net.set_delay_factor net f
+  | Bandwidth_factor f -> Tact_sim.Net.set_bandwidth_factor net f
+
+let apply_sharded sh action =
+  Sharded.iter_subs sh (fun s sys -> apply_in_shard sh s sys action)
+
+let clear_all_sharded sh = Sharded.iter_subs sh (fun _ sys -> clear_all sys)
+
+(* The disturbance footprint of an action: [None] for heals and recoveries
+   (they cannot cause a timeout), [Some []] for global knobs (every replica
+   is exposed), [Some rs] for faults touching specific replicas.  The
+   interest-set-aware O6 uses this to refuse excusing a timeout by a fault
+   that could not reach the timed-out replica's shards. *)
+let disturbance_scope = function
+  | Heal_between _ | Heal_all | Recover _ | Recover_all -> None
+  | Cut (a, b) | Cut_oneway (a, b) -> Some (a @ b)
+  | Crash r -> Some [ r ]
+  | Link_loss { src; dst; _ } -> Some [ src; dst ]
+  | Global_loss _ | Duplication _ | Delay_factor _ | Bandwidth_factor _ ->
+    Some []
+
 let fault_label = { Tact_sim.Engine.actor = -1; tag = "fault" }
 
 let install sys sched =
@@ -96,6 +158,20 @@ let install sys sched =
      the heal — after [quiet_after] every disturbance is lifted. *)
   Tact_sim.Engine.at (System.engine sys) ~label:fault_label
     ~time:sched.quiet_after (fun () -> clear_all sys)
+
+(* Each shard's engine gets its own copy of every event, applying only that
+   shard's projection — shards may be drained on different pool domains, so
+   a fault event running on shard A's engine must never touch shard B's
+   state. *)
+let install_sharded sh sched =
+  Sharded.iter_subs sh (fun s sys ->
+      List.iter
+        (fun e ->
+          Tact_sim.Engine.at (System.engine sys) ~label:fault_label ~time:e.at
+            (fun () -> apply_in_shard sh s sys e.action))
+        sched.events;
+      Tact_sim.Engine.at (System.engine sys) ~label:fault_label
+        ~time:sched.quiet_after (fun () -> clear_all sys))
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)

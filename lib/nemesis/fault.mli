@@ -53,6 +53,25 @@ val install : Tact_replica.System.t -> schedule -> unit
 (** Schedule every event plus the quiescent tail on the system's engine.
     Call before running. *)
 
+val apply_sharded : Tact_replica.Sharded.t -> action -> unit
+(** Apply one global action to a sharded system: group and replica ids are
+    projected onto each shard's subscribers (renumbered locally), global
+    knobs hit every shard's net with the rng salt offset by the shard id
+    (shard 0 keeps the raw salt, preserving 1-shard identity). *)
+
+val clear_all_sharded : Tact_replica.Sharded.t -> unit
+
+val install_sharded : Tact_replica.Sharded.t -> schedule -> unit
+(** {!install} for sharded systems: every shard's engine gets its own copy
+    of each event applying only that shard's projection, so fault events
+    stay shard-local even when shards drain on different pool domains. *)
+
+val disturbance_scope : action -> int list option
+(** The replicas an action can disturb: [None] for heals and recoveries
+    (never disturb), [Some []] for global knobs (everyone), [Some rs]
+    otherwise.  Feeds the interest-set-aware O6
+    ({!Oracle.check_unavailability_sharded}). *)
+
 val validate : n:int -> schedule -> string list
 (** Well-formedness errors: replica ids and groups in range, rates within
     [0, 1], factors positive, event times in [0, quiet_after). *)

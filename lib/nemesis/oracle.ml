@@ -60,6 +60,56 @@ let check_liveness sys obs =
   in
   List.rev !issues @ convergence @ completions
 
+(* O5 for sharded systems: up/parked checks run per shard instance (a
+   replica serving several shards must recover all of them), convergence is
+   the interest-set-aware O3 (per-shard agreement plus the cross-shard
+   containment audit), and completion accounting is unchanged — a client
+   heard back exactly once no matter which shard served it. *)
+let check_liveness_sharded sh obs =
+  let issues = ref [] in
+  Sharded.iter_subs sh (fun s sys ->
+      let members = Sharded.members sh s in
+      for li = 0 to System.size sys - 1 do
+        let r = System.replica sys li in
+        let g = members.(li) in
+        if not (Replica.is_up r) then
+          issues :=
+            Printf.sprintf
+              "liveness: replica %d still down in shard %d after heal" g s
+            :: !issues;
+        let parked = Replica.pending_count r in
+        if parked > 0 then
+          issues :=
+            Printf.sprintf
+              "liveness: replica %d still has %d parked accesses in shard %d \
+               after heal"
+              g parked s
+            :: !issues
+      done);
+  let convergence =
+    List.map
+      (fun v -> "liveness: " ^ v)
+      (Tact_check.Oracle.check_converged_sharded sh)
+  in
+  let completions =
+    List.filter_map
+      (fun o ->
+        let total = o.o_completions + o.o_timeouts in
+        if total = 1 then None
+        else if total = 0 then
+          Some
+            (Printf.sprintf "liveness: %s never completed nor timed out"
+               (describe_op o))
+        else
+          Some
+            (Printf.sprintf
+               "liveness: %s completed %d times (%d results, %d timeouts) — \
+                expected exactly one"
+               (describe_op o) total o.o_completions o.o_timeouts))
+      obs
+  in
+  List.rev !issues @ convergence @ completions
+
 (* O6 (bound violations with unavailability accounting): a bounded access
    that times out trades consistency for availability — legitimate exactly
    when a fault could have parked it.  The disturbance envelope is
@@ -90,5 +140,51 @@ let check_unavailability ~(schedule : Fault.schedule) ~slack obs =
             (Printf.sprintf
                "unavailability: %s timed out outside any fault window \
                 (faults span [%g, %g])"
+               (describe_op o) fault_lo fault_hi))
+    obs
+
+(* O6, interest-set-aware: a timeout is excused only by a disturbance that
+   could actually reach the timed-out replica — one whose footprint
+   ({!Fault.disturbance_scope}) intersects the replicas sharing a shard with
+   it (its sync peers), or a global knob.  A fault confined to shards the
+   replica does not subscribe to cannot have parked its access, so the
+   timeout stays a bounds-machinery bug even if the fault overlapped in
+   time.  Strictly stronger than {!check_unavailability}. *)
+let check_unavailability_sharded ~sh ~(schedule : Fault.schedule) ~slack obs =
+  let n = Sharded.size sh in
+  (* peers.(r).(x): do r and x share a shard? *)
+  let peers = Array.init n (fun _ -> Array.make n false) in
+  Sharded.iter_subs sh (fun s _ ->
+      let members = Sharded.members sh s in
+      Array.iter
+        (fun a -> Array.iter (fun b -> peers.(a).(b) <- true) members)
+        members);
+  let relevant rid (e : Fault.event) =
+    match Fault.disturbance_scope e.Fault.action with
+    | None -> false
+    | Some [] -> true
+    | Some rs -> List.exists (fun x -> x >= 0 && x < n && peers.(rid).(x)) rs
+  in
+  let fault_hi = schedule.Fault.quiet_after +. slack in
+  List.filter_map
+    (fun o ->
+      if o.o_timeouts = 0 then None
+      else
+        let fault_lo =
+          List.fold_left
+            (fun acc (e : Fault.event) ->
+              if relevant o.o_rid e then Float.min acc e.Fault.at else acc)
+            infinity schedule.Fault.events
+        in
+        let deadline =
+          match o.o_deadline with Some d -> d | None -> infinity
+        in
+        let overlaps = fault_lo <= deadline && o.o_submit <= fault_hi in
+        if overlaps then None
+        else
+          Some
+            (Printf.sprintf
+               "unavailability: %s timed out with no fault reaching its \
+                interest set (relevant faults span [%g, %g])"
                (describe_op o) fault_lo fault_hi))
     obs

@@ -28,3 +28,22 @@ val check_unavailability :
     [first event, quiet_after + slack].  Sampled deadlines are generous
     enough that fault-free runs never time out, so an unexcused timeout is a
     bounds-machinery bug, not workload bad luck. *)
+
+val check_liveness_sharded :
+  Tact_replica.Sharded.t -> op_obs list -> string list
+(** O5 for sharded systems: up/parked checks per shard instance,
+    convergence via the interest-set-aware O3
+    ({!Tact_check.Oracle.check_converged_sharded}, including the cross-shard
+    containment audit), completion accounting unchanged. *)
+
+val check_unavailability_sharded :
+  sh:Tact_replica.Sharded.t ->
+  schedule:Fault.schedule ->
+  slack:float ->
+  op_obs list ->
+  string list
+(** O6, interest-set-aware: a timeout is excused only by a disturbance whose
+    footprint ({!Fault.disturbance_scope}) reaches a replica sharing a shard
+    with the timed-out one (or a global knob) — a fault confined to shards
+    outside its interest set cannot have parked the access.  Strictly
+    stronger than {!check_unavailability}. *)

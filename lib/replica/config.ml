@@ -34,6 +34,21 @@ type t = {
          (see Wlog.create_bounded); requires record_accesses = false *)
   fault_oe_slack : float;
   fault_crash_replay : bool;
+  shards : int;
+      (* number of shards the conit space is partitioned into (Sharded
+         systems); plain [System]s serve the whole space as one shard *)
+  shard_id : int;
+      (* which shard this replica instance's log serves — stamped into every
+         outgoing Batch frame and checked against incoming ones, so a frame
+         leaked across shards is rejected (and counted) instead of applied *)
+  interest : (int -> int list) option;
+      (* interest sets: [interest r] is the sorted list of shards replica [r]
+         subscribes to (it replicates, syncs and serves only those); [None]
+         subscribes every replica to every shard *)
+  fault_wrong_shard : bool;
+      (* planted bug: the sharded router delivers each submission to the
+         next shard over — exists so tests can prove the interest-set-aware
+         checker still catches cross-shard leaks *)
 }
 
 let default =
@@ -53,6 +68,10 @@ let default =
     bounded_log = false;
     fault_oe_slack = 0.0;
     fault_crash_replay = false;
+    shards = 1;
+    shard_id = 0;
+    interest = None;
+    fault_wrong_shard = false;
   }
 
 let conit t name =
@@ -63,6 +82,23 @@ let conit t name =
 (* A bound is malformed when it is negative or NaN (NaN compares false
    against everything, so it would silently disable the bound's checks). *)
 let bad_bound x = x < 0.0 || Float.is_nan x
+
+let bad_interest ~n t =
+  match t.interest with
+  | None -> None
+  | Some interest ->
+    let bad = ref None in
+    for r = 0 to n - 1 do
+      if !bad = None then begin
+        let is = interest r in
+        if is = [] then bad := Some (r, -1)
+        else
+          List.iter
+            (fun s -> if s < 0 || s >= t.shards then bad := Some (r, s))
+            is
+      end
+    done;
+    !bad
 
 let bad_gossip_plan ~n t =
   match t.gossip_plan with
@@ -108,12 +144,20 @@ let validate ~n t =
                 || bad_bound c.oe_bound || bad_bound c.st_bound)
               t.conits
           then err "conit bounds must be non-negative"
+          else if t.shards < 1 then err "shards must be >= 1 (got %d)" t.shards
+          else if t.shard_id < 0 || t.shard_id >= t.shards then
+            err "shard_id %d is not a shard (shards = %d)" t.shard_id t.shards
           else
-            match bad_gossip_plan ~n t with
-            | Some (i, j) ->
-              err "gossip plan for replica %d targets %d (not a peer id, n = %d)"
-                i j n
-            | None -> Ok ()
+            match bad_interest ~n t with
+            | Some (r, -1) -> err "replica %d has an empty interest set" r
+            | Some (r, s) ->
+              err "replica %d subscribes to shard %d (shards = %d)" r s t.shards
+            | None -> (
+              match bad_gossip_plan ~n t with
+              | Some (i, j) ->
+                err "gossip plan for replica %d targets %d (not a peer id, n = %d)"
+                  i j n
+              | None -> Ok ())
         end)
 
 (* ------------------------------------------------------------------ *)

@@ -82,6 +82,27 @@ type t = {
           stay [false] in real configurations — the nemesis mutation tests
           enable it to prove [tact_fuzz] catches, shrinks, and replays the
           resulting liveness violation (doc/FAULTS.md). *)
+  shards : int;
+      (** how many shards the conit space is partitioned into (see
+          {!Tact_store.Shard}).  Plain {!System}s serve the whole space as
+          one shard; {!Sharded} systems build one sub-system per shard.
+          Default 1. *)
+  shard_id : int;
+      (** the shard this replica instance's log serves.  Stamped into every
+          outgoing {!Tact_store.Batch} frame and checked against incoming
+          ones: a frame carrying another shard's log is rejected (and counted
+          in {!Replica.stats}) instead of applied.  Default 0. *)
+  interest : (int -> int list) option;
+      (** interest sets: [interest r] is the sorted list of shard ids replica
+          [r] subscribes to — it replicates, syncs and serves only those
+          shards, and only they are required to converge at it ({!Tact_check}
+          O3).  [None] (default) subscribes every replica to every shard. *)
+  fault_wrong_shard : bool;
+      (** fault-injection knob for checker validation only: a planted routing
+          bug where the sharded router delivers each submission to the next
+          shard over.  Must stay [false] in real configurations — the shard
+          tests enable it to prove the interest-set-aware oracle still
+          catches cross-shard leaks. *)
 }
 
 val default : t

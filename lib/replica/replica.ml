@@ -86,6 +86,7 @@ type stats = {
   snapshots_installed : int;
   timeouts : int;
   batches : int;
+  wrong_shard_frames : int;
 }
 
 type t = {
@@ -138,6 +139,7 @@ type t = {
   mutable s_snapshots_installed : int;
   mutable s_timeouts : int;
   mutable s_batches : int;
+  mutable s_wrong_shard : int;
 }
 
 let create ~id ~n ~net ~config ?on_accept () =
@@ -191,6 +193,7 @@ let create ~id ~n ~net ~config ?on_accept () =
     s_snapshots_installed = 0;
     s_timeouts = 0;
     s_batches = 0;
+    s_wrong_shard = 0;
   }
 
 let trace t ~kind detail =
@@ -255,6 +258,7 @@ let stats t =
     snapshots_installed = t.s_snapshots_installed;
     timeouts = t.s_timeouts;
     batches = t.s_batches;
+    wrong_shard_frames = t.s_wrong_shard;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -341,6 +345,7 @@ and make_batch t ~peer_vector ~csn_start ~kind =
         | Batch.Delta _ -> ());
         {
           Batch.from = t.rid;
+          shard = t.cfg.Config.shard_id;
           kind;
           vector = Version_vector.copy (Wlog.vector t.wlog);
           cover = my_cover t;
@@ -962,6 +967,16 @@ and process t msg =
        pointwise max — so a duplicated or re-delivered frame cannot
        double-apply. *)
     let b = Batch.of_string s in
+    if b.Batch.shard <> t.cfg.Config.shard_id then begin
+      (* A frame carrying another shard's log must never be applied: its
+         writes, vector and CSN slice all describe a different log.  Reject
+         and account — the interest-set-aware oracle flags the counter. *)
+      t.s_wrong_shard <- t.s_wrong_shard + 1;
+      trace t ~kind:"wrong-shard"
+        (Printf.sprintf "rejected frame for shard %d (serving %d)"
+           b.Batch.shard t.cfg.Config.shard_id)
+    end
+    else begin
     let from = b.Batch.from in
     (match b.Batch.payload with
     | Batch.Delta writes -> ignore (Wlog.insert_batch t.wlog writes)
@@ -992,7 +1007,8 @@ and process t msg =
              csn_known = Csn_buffer.known t.csn;
            })
     | Batch.Pull_reply round -> round_reply t ~round ~from
-    | Batch.Gossip -> ()));
+    | Batch.Gossip -> ())
+    end);
   pump t;
   sanity_check t
 

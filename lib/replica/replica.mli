@@ -41,6 +41,9 @@ type stats = {
   snapshots_installed : int;
   timeouts : int;  (** accesses abandoned at their deadline *)
   batches : int;  (** coalesced anti-entropy frames sent (Batched sync) *)
+  wrong_shard_frames : int;
+      (** incoming Batch frames rejected because they carried another shard's
+          log — nonzero only under a cross-shard routing bug *)
 }
 
 val create :

@@ -45,3 +45,17 @@ let query ~name ?(depends = fun _ -> []) ~read () =
 let ask q session arg ~k =
   annotate session ~affects:[] ~depends:(q.q_depends arg);
   Session.read session (q.q_read arg) ~k
+
+(* ------------------------------------------------------------------ *)
+(* Interest-set derivation                                             *)
+
+let class_conits c arg =
+  List.map (fun (conit, _, _) -> conit) (c.affects arg)
+  @ List.map fst (c.depends arg)
+
+let query_conits q arg = List.map fst (q.q_depends arg)
+
+(* The sorted, deduplicated shard ids a set of conits routes to — how a
+   replica's interest set is derived from the accesses it will issue. *)
+let interest ~router conits =
+  List.map (Shard.route router) conits |> List.sort_uniq Int.compare

@@ -58,3 +58,15 @@ val query_name : 'a query -> string
 val query_depends : 'a query -> 'a -> (string * Tact_core.Bounds.t) list
 
 val ask : 'a query -> Session.t -> 'a -> k:(Tact_store.Value.t -> unit) -> unit
+
+val class_conits : 'a op_class -> 'a -> string list
+(** Every conit the class's affects and depends touch for one argument —
+    raw material for interest-set derivation (may contain duplicates). *)
+
+val query_conits : 'a query -> 'a -> string list
+
+val interest : router:Tact_store.Shard.t -> string list -> int list
+(** The sorted, deduplicated shard ids the given conits route to: a
+    replica's interest set is [interest ~router] of the conits its op
+    classes and queries touch ({!class_conits}, {!query_conits}) — it
+    subscribes to and syncs exactly those shards ({!Config.interest}). *)

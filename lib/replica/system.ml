@@ -50,14 +50,15 @@ let size t = Array.length t.replicas
 let replica t i = t.replicas.(i)
 let now t = Engine.now t.engine
 
-let run ?until t =
+let prepare t =
   if not t.started then begin
     t.started <- true;
     Array.iter Replica.start t.replicas
-  end;
-  Engine.run ?until t.engine;
-  (* Writes return through continuations; the return time visible to external
-     order is recorded via access records.  Fold them in lazily here. *)
+  end
+
+(* Writes return through continuations; the return time visible to external
+   order is recorded via access records.  Fold them in lazily here. *)
+let collect_returns t =
   Array.iter
     (fun r ->
       List.iter
@@ -70,6 +71,11 @@ let run ?until t =
           | Tact_core.Access.Read -> ())
         (Replica.records r))
     t.replicas
+
+let run ?until t =
+  prepare t;
+  Engine.run ?until t.engine;
+  collect_returns t
 
 let all_writes t =
   (* lint: allow hashtbl-fold — collected list is sorted just below *)
@@ -113,6 +119,7 @@ let total_stats t =
         snapshots_installed = acc.snapshots_installed + s.snapshots_installed;
         timeouts = acc.timeouts + s.timeouts;
         batches = acc.batches + s.batches;
+        wrong_shard_frames = acc.wrong_shard_frames + s.wrong_shard_frames;
       })
     {
       Replica.pushes_budget = 0;
@@ -125,6 +132,7 @@ let total_stats t =
       snapshots_installed = 0;
       timeouts = 0;
       batches = 0;
+      wrong_shard_frames = 0;
     }
     t.replicas
 

@@ -31,7 +31,19 @@ val replica : t -> int -> Replica.t
 val now : t -> float
 
 val run : ?until:float -> t -> unit
-(** Drain the event queue (up to virtual time [until]). *)
+(** Drain the event queue (up to virtual time [until]).  Equivalent to
+    {!prepare}, [Engine.run], {!collect_returns}. *)
+
+val prepare : t -> unit
+(** Start background activity (gossip, retry loops) on every replica without
+    draining any events.  Idempotent; [run] calls it.  Exposed so a driver
+    that owns several systems ({!Sharded}) can start them all and then drain
+    their engines together with [Engine.run_group]. *)
+
+val collect_returns : t -> unit
+(** Fold write return times out of the replicas' access records into the
+    omniscient write registry ({!return_time}).  [run] does this after
+    draining; a driver using [Engine.run_group] must call it itself. *)
 
 val all_writes : t -> Tact_store.Write.t list
 (** Every write accepted anywhere, in canonical (timestamp) order. *)

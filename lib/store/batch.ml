@@ -7,7 +7,11 @@
    relay) can summarise a frame without decoding its payload. *)
 
 let magic = 0xB6
-let version = 1
+
+(* Version 2 added the shard id: with a sharded conit space every frame names
+   the shard whose log it carries, so a receiver can reject (and account for)
+   deliveries that leaked across shards without decoding the payload. *)
+let version = 2
 
 type kind = Push | Pull_reply of int | Gossip
 
@@ -18,6 +22,7 @@ type payload =
 
 type t = {
   from : int;
+  shard : int;  (** the shard whose log this frame carries (0 when unsharded) *)
   kind : kind;
   vector : Version_vector.t;
   cover : float array;
@@ -31,6 +36,7 @@ and t_payload = payload
 
 type header = {
   h_from : int;
+  h_shard : int;
   h_kind : kind;
   h_rate : float;
   h_csn_start : int;
@@ -70,7 +76,8 @@ let writes_byte_size ws =
 
 let byte_size b =
   let header =
-    1 (* magic *) + 1 (* version *) + 8 (* from *) + 1 (* kind tag *)
+    1 (* magic *) + 1 (* version *) + 8 (* from *) + 8 (* shard *)
+    + 1 (* kind tag *)
     + 8 (* round *) + 8 (* rate *) + 8 (* csn_start *)
     + 8 + (24 * List.length (ranges b))
     + 1 (* payload tag *)
@@ -97,6 +104,7 @@ let encode frame b =
   put_u8 frame magic;
   put_u8 frame version;
   put_int frame b.from;
+  put_int frame b.shard;
   put_u8 frame (kind_tag b.kind);
   put_int frame (kind_round b.kind);
   put_float frame b.rate;
@@ -149,6 +157,8 @@ let decode_prefix c =
   if v <> version then
     raise (Malformed (Printf.sprintf "unsupported batch version %d" v));
   let from = get_int c in
+  let shard = get_int c in
+  if shard < 0 then raise (Malformed "negative shard id");
   let kind = decode_kind c in
   let rate = get_float c in
   let csn_start = get_int c in
@@ -167,14 +177,14 @@ let decode_prefix c =
     | 1 -> `Full
     | t -> raise (Malformed (Printf.sprintf "bad payload tag %d" t))
   in
-  (from, kind, rate, csn_start, ranges, payload)
+  (from, shard, kind, rate, csn_start, ranges, payload)
 
 let decode_header s =
   let c = Codec.cursor s in
-  let h_from, h_kind, h_rate, h_csn_start, h_ranges, h_payload =
+  let h_from, h_shard, h_kind, h_rate, h_csn_start, h_ranges, h_payload =
     decode_prefix c
   in
-  { h_from; h_kind; h_rate; h_csn_start; h_ranges; h_payload }
+  { h_from; h_shard; h_kind; h_rate; h_csn_start; h_ranges; h_payload }
 
 let decode_writes c =
   let open Codec in
@@ -185,7 +195,7 @@ let decode_writes c =
 let of_string s =
   let open Codec in
   let c = cursor s in
-  let from, kind, rate, csn_start, _ranges, ptag = decode_prefix c in
+  let from, shard, kind, rate, csn_start, _ranges, ptag = decode_prefix c in
   let ncsn = get_int c in
   if ncsn < 0 then raise (Malformed "negative csn count");
   let csn =
@@ -208,7 +218,7 @@ let of_string s =
   in
   if c.pos <> String.length c.data then
     raise (Malformed "trailing bytes after batch");
-  { from; kind; vector; cover; csn_start; csn; rate; payload }
+  { from; shard; kind; vector; cover; csn_start; csn; rate; payload }
 
 (* ------------------------------------------------------------------ *)
 (* The batch planner: what one sync round sends to one peer.           *)

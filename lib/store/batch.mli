@@ -27,6 +27,9 @@ type payload =
 
 type t = {
   from : int;
+  shard : int;
+      (** the shard whose log this frame carries — [0] when unsharded; a
+          receiver serving a different shard must reject the frame *)
   kind : kind;
   vector : Version_vector.t;  (** sender's full vector at send time *)
   cover : float array;  (** sender's per-origin cover times *)
@@ -38,6 +41,7 @@ type t = {
 
 type header = {
   h_from : int;
+  h_shard : int;
   h_kind : kind;
   h_rate : float;
   h_csn_start : int;

@@ -1,0 +1,84 @@
+(* Static partition of the conit space (see shard.mli).  Pure and immutable
+   by construction: the only state is the routing table captured at build
+   time, so a router can be consulted from concurrent shard domains without
+   synchronisation. *)
+
+type t = {
+  nshards : int;
+  table : (string * int) array;  (* explicit pins, sorted by conit name *)
+}
+
+(* FNV-1a over the conit name, 32-bit arithmetic: platform-independent,
+   allocation-free, and stable across runs — routing must never depend on
+   anything but the name itself. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let single = { nshards = 1; table = [||] }
+
+let by_hash ~shards =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Shard.by_hash: need >= 1 shard (got %d)" shards);
+  { nshards = shards; table = [||] }
+
+let with_table t pins =
+  let names = List.map fst pins in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Shard.with_table: duplicate conit";
+  List.iter
+    (fun (c, s) ->
+      if s < 0 || s >= t.nshards then
+        invalid_arg
+          (Printf.sprintf "Shard.with_table: conit %S pinned to shard %d (of %d)"
+             c s t.nshards))
+    pins;
+  let merged =
+    Array.to_list t.table
+    |> List.filter (fun (c, _) -> not (List.mem_assoc c pins))
+    |> List.append pins
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { t with table = Array.of_list merged }
+
+let shards t = t.nshards
+
+let route t conit =
+  if t.nshards = 1 then 0
+  else begin
+    (* Binary search over the pinned conits; fall back to the hash rule. *)
+    let lo = ref 0 and hi = ref (Array.length t.table) in
+    let found = ref (-1) in
+    while !found < 0 && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = String.compare conit (fst t.table.(mid)) in
+      if c = 0 then found := snd t.table.(mid)
+      else if c < 0 then hi := mid
+      else lo := mid + 1
+    done;
+    if !found >= 0 then !found else fnv1a conit mod t.nshards
+  end
+
+let route_write t (w : Write.t) =
+  match w.affects with
+  | [] -> 0
+  | { Write.conit; _ } :: rest ->
+    let s = route t conit in
+    List.iter
+      (fun { Write.conit = c; _ } ->
+        let s' = route t c in
+        if s' <> s then
+          invalid_arg
+            (Printf.sprintf
+               "Shard.route_write: %s affects conits in shards %d and %d \
+                (cross-shard writes are not replicable as one unit)"
+               (Write.id_to_string w.id) s s'))
+      rest;
+    s
+
+let to_string t =
+  if Array.length t.table = 0 then Printf.sprintf "hash/%d" t.nshards
+  else Printf.sprintf "hash/%d+%d pins" t.nshards (Array.length t.table)

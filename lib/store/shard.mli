@@ -1,0 +1,41 @@
+(** Shard router: a static partition of the conit space.
+
+    The paper's Theorem 2 treats per-data-item conits as the limit case of
+    conit granularity; sharding generalises the step in between — the conit
+    space is split into [shards] independently replicated units, each with
+    its own write log, database images and version vectors, and a replica
+    subscribes only to the shards its accesses touch (its {e interest set}).
+
+    A router is an immutable value: routing decisions are pure functions of
+    the conit name, so concurrent shard engines may share one router without
+    synchronisation (the domain-race analysis relies on this). *)
+
+type t
+
+val single : t
+(** One shard; every conit routes to shard 0.  A system built over [single]
+    with full interest sets behaves byte-for-byte like an unsharded one. *)
+
+val by_hash : shards:int -> t
+(** Route each conit by a deterministic string hash (FNV-1a), modulo
+    [shards].  Raises [Invalid_argument] if [shards < 1]. *)
+
+val with_table : t -> (string * int) list -> t
+(** Pin specific conits to specific shards; unlisted conits fall back to the
+    base router's rule.  Raises [Invalid_argument] on a duplicate conit or a
+    shard id out of range. *)
+
+val shards : t -> int
+(** Number of shards ([>= 1]). *)
+
+val route : t -> string -> int
+(** The shard holding a conit, in [0 .. shards - 1]. *)
+
+val route_write : t -> Write.t -> int
+(** The shard a write belongs to: the shard of its affected conits.  Writes
+    affecting no conit route to shard 0.  Raises [Invalid_argument] if the
+    write's affected conits span more than one shard — cross-shard writes
+    are not replicable as one unit. *)
+
+val to_string : t -> string
+(** Human-readable description, e.g. ["hash/4"] — for experiment tables. *)

@@ -2,6 +2,32 @@ open Tact_util
 
 type insertion = Inserted of Op.outcome | Duplicate | Buffered
 
+(* Typed-key flat per-write bookkeeping.  One slot per (origin, seq) replaces
+   the four [Write.id]-keyed hashtables the log used to carry (id index,
+   committed-id set, tentative outcomes, final outcomes): origins are dense
+   small ints and each origin's seqs are a contiguous range, so a slot is
+   found by array arithmetic — no hashing, no key boxing — on every delivery,
+   commit and outcome probe. *)
+type slot = {
+  mutable s_write : Write.t option;
+      (* physically resident in the log (tentative or retained committed);
+         [None] once truncated, snapshot-covered, or a never-received seq the
+         vector jumped over *)
+  mutable s_outcome : Op.outcome option;  (* latest tentative application *)
+  mutable s_final : Op.outcome option;  (* outcome against the committed image *)
+  mutable s_committed : bool;
+}
+
+(* Per-origin slot array.  [islots] is a flat growable array with a head
+   offset ([Deque.t] is exactly that): logical slot [i] covers seq
+   [ibase + i + 1].  Bounded-memory logs advance [ibase] past dead prefixes
+   (see {!shed_dead}); unbounded logs keep [ibase = 0] forever, mirroring the
+   old hashtables' retention. *)
+type origin_index = {
+  mutable ibase : int;  (* seqs <= ibase have been evicted from the index *)
+  islots : slot Deque.t;
+}
+
 type snapshot = {
   snap_db : Db.t;
   snap_vector : Version_vector.t;
@@ -43,7 +69,8 @@ type t = {
   vector : Version_vector.t;
   committed_vec : Version_vector.t;  (* writes in the committed prefix *)
   trunc_vec : Version_vector.t;  (* writes that may have been discarded *)
-  by_id : (Write.id, Write.t) Hashtbl.t;
+  index : origin_index array;  (* per-write bookkeeping slots, per origin *)
+  mutable nresident : int;  (* slots with [s_write <> None] *)
   by_origin : Write.t Deque.t array;
       (* by_origin.(o) = the writes of origin o still in the log, in seq
          order.  Registration happens in per-origin seq order and removal
@@ -52,10 +79,7 @@ type t = {
          [trunc_vec.(o)+1 .. vector.(o)] — which makes serving a version
          vector a k-way merge over array slices instead of per-(origin,seq)
          hash probes. *)
-  committed_ids : (Write.id, unit) Hashtbl.t;
   pending : (Write.id, Write.t) Hashtbl.t; (* per-origin sequence gaps *)
-  outcomes : (Write.id, Op.outcome) Hashtbl.t;
-  finals : (Write.id, Op.outcome) Hashtbl.t;
   values : (string, float) Hashtbl.t; (* conit -> accumulated nweight *)
   committed_values : (string, float) Hashtbl.t;
   tent_oweights : (string, float) Hashtbl.t; (* conit -> tentative oweight *)
@@ -80,12 +104,10 @@ let create_bounded ~journal ~evict_outcomes ~replicas ~initial =
     vector = Version_vector.create replicas;
     committed_vec = Version_vector.create replicas;
     trunc_vec = Version_vector.create replicas;
-    by_id = Hashtbl.create 256;
+    index = Array.init replicas (fun _ -> { ibase = 0; islots = Deque.create () });
+    nresident = 0;
     by_origin = Array.init replicas (fun _ -> Deque.create ());
-    committed_ids = Hashtbl.create 256;
     pending = Hashtbl.create 8;
-    outcomes = Hashtbl.create 256;
-    finals = Hashtbl.create 256;
     values = Hashtbl.create 16;
     committed_values = Hashtbl.create 16;
     tent_oweights = Hashtbl.create 16;
@@ -102,6 +124,69 @@ let htbl_add tbl key delta =
 
 let htbl_get tbl key =
   match Hashtbl.find_opt tbl key with Some v -> v | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Slot index primitives                                               *)
+
+let fresh_slot () =
+  { s_write = None; s_outcome = None; s_final = None; s_committed = false }
+
+(* The slot for an id, if the index still covers it. *)
+let slot_find t (id : Write.id) =
+  let oi = t.index.(id.origin) in
+  let i = id.seq - oi.ibase - 1 in
+  if i < 0 || i >= Deque.length oi.islots then None
+  else Some (Deque.get oi.islots i)
+
+(* The slot for an id known to be covered (registered and not evicted). *)
+let slot_exn t (id : Write.id) =
+  let oi = t.index.(id.origin) in
+  Deque.get oi.islots (id.seq - oi.ibase - 1)
+
+(* Extend the origin's slot array to cover [seq], padding any gap the vector
+   jumped over (snapshot installation) with empty slots, and return [seq]'s
+   slot.  Registration is per-origin monotone, so the common case pushes
+   exactly one slot. *)
+let slot_ensure t origin seq =
+  let oi = t.index.(origin) in
+  let need = seq - oi.ibase in
+  while Deque.length oi.islots < need do
+    Deque.push_back oi.islots (fresh_slot ())
+  done;
+  Deque.get oi.islots (need - 1)
+
+(* Is the write physically resident in the log?  Exactly the old id-index
+   membership: slots outlive residency (unbounded logs keep them forever),
+   and bounded logs only shed slots whose write is already gone. *)
+let resident t origin seq =
+  let oi = t.index.(origin) in
+  let i = seq - oi.ibase - 1 in
+  i >= 0 && i < Deque.length oi.islots
+  && (Deque.get oi.islots i).s_write <> None
+
+let resident_write t (id : Write.id) =
+  match slot_find t id with Some s -> s.s_write | None -> None
+
+(* The old committed-id-set membership: the slot flag while the slot lives.
+   A shed slot (bounded mode) reads as not-committed here; callers that can
+   meet shed ids ({!commit_ids}) treat non-residency as already-covered. *)
+let committed_mem t (id : Write.id) =
+  match slot_find t id with Some s -> s.s_committed | None -> false
+
+(* Bounded-memory mode: pop dead leading slots (write gone, side data
+   evicted) so the index stays within the truncation horizon.  Stops at the
+   first resident slot — under CSN commits a lower-seq straggler can outlive
+   the truncation that overtook it, and its slot must keep serving lookups
+   until the write itself is popped. *)
+let shed_dead t origin =
+  let oi = t.index.(origin) in
+  while
+    (not (Deque.is_empty oi.islots))
+    && (Deque.peek_front oi.islots).s_write = None
+  do
+    ignore (Deque.pop_front oi.islots);
+    oi.ibase <- oi.ibase + 1
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Invariant audit (sanitize mode)                                     *)
@@ -149,17 +234,17 @@ let invariant_violations t =
      are not, and the known vector covers everything in the log. *)
   Deque.iter
     (fun (w : Write.t) ->
-      if not (Hashtbl.mem t.committed_ids w.id) then
+      if not (committed_mem t w.id) then
         addf "committed write %s missing from the committed-id set"
           (Write.id_to_string w.id))
     t.committed;
   let pos = ref 0 in
   Deque.iter
     (fun (w : Write.t) ->
-      if Hashtbl.mem t.committed_ids w.id then
+      if committed_mem t w.id then
         addf "tentative write %s (position %d) is also marked committed"
           (Write.id_to_string w.id) !pos;
-      if Hashtbl.find_opt t.by_id w.id = None then
+      if resident_write t w.id = None then
         addf "tentative write %s (position %d) missing from the id index"
           (Write.id_to_string w.id) !pos;
       if not (Version_vector.covers t.vector ~origin:w.id.origin ~seq:w.id.seq)
@@ -187,7 +272,7 @@ let invariant_violations t =
         addf "by_origin[%d] slot %d holds %s, want w%d.%d" o i
           (Write.id_to_string w.Write.id) o (base + i + 1)
       else
-        match Hashtbl.find_opt t.by_id w.Write.id with
+        match resident_write t w.Write.id with
         | Some w' when w' == w -> ()
         | Some _ ->
           addf "by_origin[%d] slot %d diverges from the id index" o i
@@ -262,7 +347,9 @@ let unsafe_swap_tentative t i j =
 
 (* Bookkeeping common to every successful insertion. *)
 let register t (w : Write.t) =
-  Hashtbl.replace t.by_id w.id w;
+  let s = slot_ensure t w.id.origin w.id.seq in
+  s.s_write <- Some w;
+  t.nresident <- t.nresident + 1;
   Deque.push_back t.by_origin.(w.id.origin) w;
   Version_vector.set t.vector w.id.origin w.id.seq;
   List.iter
@@ -276,7 +363,7 @@ let register t (w : Write.t) =
    change across reorderings; that is the point of write procedures. *)
 let apply_one t (w : Write.t) =
   let outcome, u = Db.recording t.full_db (fun () -> Op.apply w.op t.full_db) in
-  Hashtbl.replace t.outcomes w.id outcome;
+  (slot_exn t w.id).s_outcome <- Some outcome;
   Deque.push_back t.undo u;
   outcome
 
@@ -336,7 +423,7 @@ let accept t (w : Write.t) =
   let pos = insert_tent t w in
   finish_inserts t ~applied ~minpos:pos;
   sanitize ~ctx:"wlog.accept" t;
-  match Hashtbl.find_opt t.outcomes w.id with
+  match (slot_exn t w.id).s_outcome with
   | Some o -> o
   | None -> assert false
 
@@ -377,7 +464,7 @@ let insert t (w : Write.t) =
     let _, minpos = insert_positions t w in
     finish_inserts t ~applied ~minpos;
     sanitize ~ctx:"wlog.insert" t;
-    match Hashtbl.find_opt t.outcomes w.id with
+    match (slot_exn t w.id).s_outcome with
     | Some o -> Inserted o
     | None -> assert false
   end
@@ -426,7 +513,7 @@ let writes_since t v =
            overtook it), matching the probe order of the old implementation
            byte for byte. *)
         let seq = ref (have + 1) in
-        while Hashtbl.mem t.by_id { Write.origin; seq = !seq } do incr seq done;
+        while resident t origin !seq do incr seq done;
         invalid_arg
           (Printf.sprintf
              "Wlog.writes_since: w%d.%d was truncated (check can_serve first)"
@@ -535,14 +622,15 @@ let tentative_ids t = List.init (Deque.length t.tent) (fun i -> (Deque.get t.ten
 let iter_tentative t f = Deque.iter f t.tent
 let committed t = Deque.to_list t.committed
 let committed_count t = t.ncommitted
-let num_known t = Hashtbl.length t.by_id
+let num_known t = t.nresident
 
 (* Move one write into the committed prefix, applying it to the committed
    image and recording its final outcome. *)
 let commit_one t (w : Write.t) =
   let outcome = Op.apply w.op t.committed_db in
-  Hashtbl.replace t.finals w.id outcome;
-  Hashtbl.replace t.committed_ids w.id ();
+  let s = slot_exn t w.id in
+  s.s_final <- Some outcome;
+  s.s_committed <- true;
   Version_vector.set t.committed_vec w.id.origin
     (max w.id.seq (Version_vector.get t.committed_vec w.id.origin));
   Deque.push_back t.committed w;
@@ -618,8 +706,15 @@ let commit_ids t ids =
   let reordered = ref false in
   List.iter
     (fun id ->
-      if known t id && not (Hashtbl.mem t.committed_ids id) then begin
-        let w = Hashtbl.find t.by_id id in
+      (* A known-but-not-resident id (its slot shed by a bounded log after
+         snapshot adoption) is already part of the committed state — skip it
+         rather than recommit. *)
+      match
+        if known t id && not (committed_mem t id) then resident_write t id
+        else None
+      with
+      | None -> ()
+      | Some w ->
         (* Commit order agrees with the full-image order only when the write
            being committed is the oldest tentative one — then committing is a
            front pop.  Otherwise remove it from the middle and re-derive the
@@ -639,8 +734,7 @@ let commit_ids t ids =
           ignore (Deque.remove t.tent pos)
         end;
         commit_one t w;
-        incr n
-      end)
+        incr n)
     ids;
   if !reordered then begin
     t.nrollbacks <- t.nrollbacks + 1;
@@ -658,8 +752,8 @@ let tentative_max_oweight t =
 let conit_value t conit = htbl_get t.values conit
 let committed_conit_value t conit = htbl_get t.committed_values conit
 
-let outcome t id = Hashtbl.find_opt t.outcomes id
-let final_outcome t id = Hashtbl.find_opt t.finals id
+let outcome t id = match slot_find t id with Some s -> s.s_outcome | None -> None
+let final_outcome t id = match slot_find t id with Some s -> s.s_final | None -> None
 let rollbacks t = t.nrollbacks
 
 (* ------------------------------------------------------------------ *)
@@ -692,15 +786,17 @@ let truncate t ~keep =
     let drop = n - keep in
     for _ = 1 to drop do
       let w = Deque.pop_front t.committed in
-      Hashtbl.remove t.by_id w.Write.id;
+      let s = slot_exn t w.Write.id in
+      s.s_write <- None;
+      t.nresident <- t.nresident - 1;
       if t.evict_on_truncate then begin
-        (* Per-write side tables would otherwise grow forever; the eviction
-           is safe because nothing consults them for truncated writes: the
+        (* Per-write slot data would otherwise grow forever; the eviction is
+           safe because nothing consults it for truncated writes: the
            primary scheme's csn pointer never re-offers a committed prefix,
            and stability commits only pop tentative writes. *)
-        Hashtbl.remove t.outcomes w.id;
-        Hashtbl.remove t.finals w.id;
-        Hashtbl.remove t.committed_ids w.id
+        s.s_outcome <- None;
+        s.s_final <- None;
+        s.s_committed <- false
       end;
       let o = w.id.origin in
       Version_vector.set t.trunc_vec o
@@ -719,7 +815,8 @@ let truncate t ~keep =
            <= Version_vector.get t.trunc_vec o
       do
         ignore (Deque.pop_front bo)
-      done
+      done;
+      if t.evict_on_truncate then shed_dead t o
     done;
     sanitize ~ctx:"wlog.truncate" t;
     drop
@@ -766,11 +863,13 @@ let install_snapshot t snap =
        commit history, which the snapshot does not rewrite.) *)
     Deque.iter
       (fun (w : Write.t) ->
-        Hashtbl.remove t.by_id w.Write.id;
+        let s = slot_exn t w.Write.id in
+        s.s_write <- None;
+        t.nresident <- t.nresident - 1;
         if t.evict_on_truncate then begin
-          Hashtbl.remove t.outcomes w.Write.id;
-          Hashtbl.remove t.finals w.Write.id;
-          Hashtbl.remove t.committed_ids w.Write.id
+          s.s_outcome <- None;
+          s.s_final <- None;
+          s.s_committed <- false
         end)
       t.committed;
     Deque.clear t.committed;
@@ -783,8 +882,10 @@ let install_snapshot t snap =
     Deque.iter
       (fun (w : Write.t) ->
         if covered w then begin
-          Hashtbl.remove t.by_id w.id;
-          Hashtbl.replace t.committed_ids w.id ()
+          let s = slot_exn t w.id in
+          s.s_write <- None;
+          t.nresident <- t.nresident - 1;
+          s.s_committed <- true
         end
         else kept := w :: !kept)
       t.tent;
@@ -801,6 +902,16 @@ let install_snapshot t snap =
     Deque.iter
       (fun (w : Write.t) -> Deque.push_back t.by_origin.(w.id.origin) w)
       t.tent;
+    if t.evict_on_truncate then
+      for o = 0 to t.nreplicas - 1 do
+        shed_dead t o;
+        (* If the origin's index emptied, jump its base over the snapshot's
+           covered range so the next registration does not pad dead slots for
+           seqs this log never held. *)
+        let oi = t.index.(o) in
+        let cover = Version_vector.get snap.snap_vector o in
+        if Deque.is_empty oi.islots && oi.ibase < cover then oi.ibase <- cover
+      done;
     Hashtbl.reset t.tent_oweights;
     Hashtbl.reset t.values;
     (* lint: allow hashtbl-iter — table copy, order-independent *)

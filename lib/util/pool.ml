@@ -254,6 +254,10 @@ let map_list t f xs =
   let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
   List.map (fun fut -> await t fut) futs
 
+let map_array t f xs =
+  let futs = Array.map (fun x -> submit t (fun () -> f x)) xs in
+  Array.map (fun fut -> await t fut) futs
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
@@ -343,3 +347,6 @@ let with_pool ~jobs f =
     let bt = Printexc.get_raw_backtrace () in
     (try shutdown t with _ -> ());
     Printexc.raise_with_backtrace e bt
+
+let recommended_jobs ?(cap = max_int) () =
+  max 1 (min cap (Domain.recommended_domain_count () - 1))

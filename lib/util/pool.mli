@@ -51,6 +51,10 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
     earliest failing {e element} (input order, not wall-clock order) is
     re-raised — deterministic even though execution is not. *)
 
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map_list} over arrays: run [f] on every element concurrently, results
+    in input order, earliest failing element's exception re-raised. *)
+
 val shutdown : t -> unit
 (** Wait for quiescence, stop and join the workers, then re-raise any
     pending {!post} exception.  Must be called from outside the pool (a
@@ -58,3 +62,9 @@ val shutdown : t -> unit
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run the body, [shutdown] — also on exceptions. *)
+
+val recommended_jobs : ?cap:int -> unit -> int
+(** A sensible pool size for this host: the runtime's recommended domain
+    count minus one (the caller's domain keeps working), clamped to
+    [\[1, cap\]].  The sanctioned way for upper layers to size a pool
+    without touching [Domain] directly. *)

@@ -29,6 +29,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("sanitize", Test_sanitize.suite);
       ("check", Test_check.suite);
+      ("shard", Test_shard.suite);
       ("nemesis", Test_nemesis.suite);
       ("strip", Test_strip.suite);
       ("staticcheck", Test_staticcheck.suite);

@@ -56,12 +56,13 @@ let test_frame_preallocate () =
 
 (* --- Batch wire format ------------------------------------------------- *)
 
-let sample_batch ?(kind = Batch.Push) payload =
+let sample_batch ?(kind = Batch.Push) ?(shard = 0) payload =
   let vector = Version_vector.create 3 in
   Version_vector.set vector 0 4;
   Version_vector.set vector 2 7;
   {
     Batch.from = 1;
+    shard;
     kind;
     vector;
     cover = [| 1.5; 2.25; 0.0 |];
@@ -78,6 +79,7 @@ let check_roundtrip name b =
     (String.length s) (Batch.byte_size b);
   let b' = Batch.of_string s in
   Alcotest.(check int) (name ^ ": from") b.Batch.from b'.Batch.from;
+  Alcotest.(check int) (name ^ ": shard") b.Batch.shard b'.Batch.shard;
   Alcotest.(check bool)
     (name ^ ": kind")
     true
@@ -116,11 +118,12 @@ let check_roundtrip name b =
 
 let test_batch_roundtrip_delta () =
   let writes = [ mk ~origin:0 ~seq:4 ~t:1.0; mk ~origin:2 ~seq:7 ~t:2.0 ] in
-  let b = sample_batch ~kind:(Batch.Pull_reply 9) (Batch.Delta writes) in
+  let b = sample_batch ~kind:(Batch.Pull_reply 9) ~shard:3 (Batch.Delta writes) in
   ignore (check_roundtrip "delta" b);
   (* Header-only decode agrees with the full decode. *)
   let h = Batch.decode_header (Batch.to_string b) in
   Alcotest.(check int) "header from" 1 h.Batch.h_from;
+  Alcotest.(check int) "header shard" 3 h.Batch.h_shard;
   Alcotest.(check bool) "header kind" true (h.Batch.h_kind = Batch.Pull_reply 9);
   Alcotest.(check int) "header csn window" 2 h.Batch.h_csn_start;
   Alcotest.(check bool) "header payload tag" true (h.Batch.h_payload = `Delta);

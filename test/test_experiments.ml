@@ -111,8 +111,25 @@ let test_e22_bounded_memory () =
     (r.max_known < 4_000);
   Alcotest.(check bool) "batches flowed" true (r.batches > 0)
 
+(* E23 smoke: a quick sweep point with partial interest must converge per
+   interest set with zero cross-shard leaks, and narrowing the overlap must
+   cut sync traffic — the partial-replication claim in miniature. *)
+let test_e23_partial_replication () =
+  let full = E23_shards.run_one ~n:8 ~shards:4 ~overlap:4 ~total:1_500 ~jobs:1 in
+  let narrow =
+    E23_shards.run_one ~n:8 ~shards:4 ~overlap:1 ~total:1_500 ~jobs:1
+  in
+  Alcotest.(check bool) "full overlap converged" true full.converged;
+  Alcotest.(check bool) "narrow overlap converged" true narrow.converged;
+  Alcotest.(check int) "no leaks (full)" 0 full.leaks;
+  Alcotest.(check int) "no leaks (narrow)" 0 narrow.leaks;
+  Alcotest.(check bool) "membership shrinks with overlap" true
+    (narrow.avg_members < full.avg_members);
+  Alcotest.(check bool) "traffic falls with overlap" true
+    (narrow.messages < full.messages)
+
 let test_registry_complete () =
-  Alcotest.(check int) "22 experiments" 22 (List.length Registry.all);
+  Alcotest.(check int) "23 experiments" 23 (List.length Registry.all);
   let found key (e : Registry.entry) =
     match Registry.find key with Some x -> x.id = e.id | None -> false
   in
@@ -138,6 +155,8 @@ let base_suite =
     Alcotest.test_case "E11 budget shape" `Slow test_e11_budget_shape;
     Alcotest.test_case "E12 commit shape" `Slow test_e12_commit_shape;
     Alcotest.test_case "E22 bounded memory" `Slow test_e22_bounded_memory;
+    Alcotest.test_case "E23 partial replication" `Slow
+      test_e23_partial_replication;
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
   ]
 

@@ -22,6 +22,20 @@ let test_map_order () =
         (List.map (fun i -> i * i) xs)
         ys)
 
+let test_map_array_order_and_failure () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = Array.init 64 (fun i -> i) in
+      let ys = Pool.map_array p (fun i -> i * i) xs in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.map (fun i -> i * i) xs)
+        ys;
+      (* Earliest failing element wins, regardless of completion order. *)
+      Alcotest.check_raises "earliest element's exception" (Boom 3) (fun () ->
+          ignore
+            (Pool.map_array p
+               (fun i -> if i >= 3 then raise (Boom i) else i)
+               xs)))
+
 let test_await_exception () =
   Pool.with_pool ~jobs:2 (fun p ->
       let ok = Pool.submit p (fun () -> 41 + 1) in
@@ -138,6 +152,8 @@ let test_sync_primitives () =
 let suite =
   [
     Alcotest.test_case "map_list preserves order" `Quick test_map_order;
+    Alcotest.test_case "map_array order and earliest failure" `Quick
+      test_map_array_order_and_failure;
     Alcotest.test_case "await re-raises task exceptions" `Quick
       test_await_exception;
     Alcotest.test_case "map_list surfaces earliest failure" `Quick
