@@ -20,6 +20,7 @@
      dune exec bench/main.exe -- --json       # scaling kernels -> BENCH_PR4.json
      dune exec bench/main.exe -- --pr6        # batched-sync kernels -> BENCH_PR6.json
      dune exec bench/main.exe -- --pr9        # sharding kernels -> BENCH_PR9.json
+     dune exec bench/main.exe -- --pr10       # loopback transport -> BENCH_PR10.json
      dune exec bench/main.exe -- --compare A.json B.json  # per-kernel speedups
      dune exec bench/main.exe -- --smoke      # tiny kernel instances (CI guard)
      dune exec bench/main.exe -- -j 4         # run experiments/kernels on a
@@ -966,6 +967,137 @@ let run_pr9 ~path =
   Printf.printf "wrote %s (cores=%d, ocaml %s)\n" path cores Sys.ocaml_version
 
 (* ------------------------------------------------------------------ *)
+(* PR10 kernels: loopback throughput of the hardened TCP transport     *)
+
+(* Wall-clock throughput of the real-socket backend: two {!Tact_transport.Tcp}
+   instances on one event loop, loopback TCP, [frames] payloads of [size]
+   bytes pushed 0 -> 1 with a bounded in-flight window while the loop pumps.
+   Measures the full framed path — enqueue, 4-byte length prefix,
+   nonblocking writes, accept-side reassembly, per-frame delivery — the
+   live-service twin of the simulator's sync-traffic kernel. *)
+
+type tt_result = { tt_frames : int; tt_size : int; tt_seconds : float }
+
+let fresh_loopback_ports n =
+  let fds =
+    List.init n (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        fd)
+  in
+  let ports =
+    List.map
+      (fun fd ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false)
+      fds
+  in
+  List.iter Unix.close fds;
+  ports
+
+let kernel_transport_throughput ~frames ~size () =
+  let module L = Tact_transport.Loop in
+  let module Tcp = Tact_transport.Tcp in
+  let loop = L.create () in
+  let addrs =
+    fresh_loopback_ports 2
+    |> List.map (fun p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+    |> Array.of_list
+  in
+  let knobs =
+    {
+      Tact_replica.Config.default_transport with
+      Tact_replica.Config.backoff_base = 0.005;
+      half_open_after = 60.0;
+    }
+  in
+  let mk self =
+    Tcp.create ~loop ~self ~addrs ~knobs
+      ~rng:(Tact_util.Prng.create ~seed:(40 + self))
+      ()
+  in
+  let t0 = mk 0 and t1 = mk 1 in
+  let got = ref 0 in
+  Tcp.set_handler t1 (fun ~src:_ payload ->
+      if String.length payload = size then incr got);
+  Tcp.listen t0 ~addr:addrs.(0);
+  Tcp.listen t1 ~addr:addrs.(1);
+  let setup_deadline = Unix.gettimeofday () +. 10.0 in
+  while not (Tcp.peer_up t0 1) && Unix.gettimeofday () < setup_deadline do
+    ignore (L.run_once ~max_wait:0.01 loop)
+  done;
+  assert (Tcp.peer_up t0 1);
+  let payload = String.make size 'x' in
+  let t_start = Unix.gettimeofday () in
+  let deadline = t_start +. 60.0 in
+  let sent = ref 0 in
+  while !got < frames && Unix.gettimeofday () < deadline do
+    (* A bounded window keeps the socket pipeline full without letting the
+       outbound buffer balloon past what the kernel will absorb. *)
+    while !sent < frames && !sent - !got < 64 do
+      (match Tcp.send t0 ~dst:1 payload with Ok () -> () | Error _ -> ());
+      incr sent
+    done;
+    ignore (L.run_once ~max_wait:0.01 loop)
+  done;
+  let dt = Unix.gettimeofday () -. t_start in
+  assert (!got = frames);
+  Tcp.close t0;
+  Tcp.close t1;
+  { tt_frames = frames; tt_size = size; tt_seconds = dt }
+
+let tt_fps r = float_of_int r.tt_frames /. Float.max r.tt_seconds 1e-9
+
+let tt_mbps r =
+  float_of_int (r.tt_frames * r.tt_size)
+  /. (1024.0 *. 1024.0)
+  /. Float.max r.tt_seconds 1e-9
+
+let pr10_json_report ~cores ~small ~large ~st =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"cores\": %d,\n  \"ocaml_version\": %S,\n" cores
+       Sys.ocaml_version);
+  Buffer.add_string b "  \"kernels\": [\n";
+  Buffer.add_string b
+    (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"seconds\": %.6f},\n"
+       "transport_frames_256B" small.tt_frames small.tt_seconds);
+  Buffer.add_string b
+    (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"seconds\": %.6f},\n"
+       "transport_frames_64KiB" large.tt_frames large.tt_seconds);
+  Buffer.add_string b
+    (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"seconds\": %.6f}\n"
+       "sync_traffic_batched" st.st_messages st.st_seconds);
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"transport_throughput\": {\"small_frames_per_s\": %.0f, \
+        \"small_mib_per_s\": %.1f, \"large_frames_per_s\": %.0f, \
+        \"large_mib_per_s\": %.1f}\n}\n"
+       (tt_fps small) (tt_mbps small) (tt_fps large) (tt_mbps large));
+  Buffer.contents b
+
+let run_pr10 ~path =
+  Printf.printf "Hardened TCP transport kernels (PR10)\n%s\n" (String.make 78 '-');
+  let small = kernel_transport_throughput ~frames:20_000 ~size:256 () in
+  Printf.printf "%-28s n=%-7d %9.3f s  %8.0f frames/s  %7.1f MiB/s\n%!"
+    "transport_256B" small.tt_frames small.tt_seconds (tt_fps small)
+    (tt_mbps small);
+  let large = kernel_transport_throughput ~frames:2_000 ~size:65_536 () in
+  Printf.printf "%-28s n=%-7d %9.3f s  %8.0f frames/s  %7.1f MiB/s\n%!"
+    "transport_64KiB" large.tt_frames large.tt_seconds (tt_fps large)
+    (tt_mbps large);
+  let st = run_sync_traffic ~sync:Tact_replica.Config.Batched ~writes:600 () in
+  Printf.printf "%-28s %7d msgs %9d B\n%!" "sync_traffic_batched" st.st_messages
+    st.st_bytes;
+  let cores = Domain.recommended_domain_count () in
+  let oc = open_out path in
+  output_string oc (pr10_json_report ~cores ~small ~large ~st);
+  close_out oc;
+  Printf.printf "wrote %s (cores=%d, ocaml %s)\n" path cores Sys.ocaml_version
+
+(* ------------------------------------------------------------------ *)
 (* --compare: per-kernel speedup between two bench json files          *)
 
 (* Minimal scanner for the bench json we emit ourselves: pull each kernel
@@ -1123,6 +1255,7 @@ let run_smoke ~jobs =
   ignore
     (kernel_shard_scaling ~n:4 ~shards:2 ~overlap:1 ~total:200
        ~jobs_list:[ 1; max 2 jobs ] ());
+  ignore (kernel_transport_throughput ~frames:64 ~size:512 ());
   print_endline "bench smoke ok"
 
 let () =
@@ -1142,6 +1275,7 @@ let () =
   let smoke = List.mem "--smoke" args in
   let pr6 = List.mem "--pr6" args in
   let pr9 = List.mem "--pr9" args in
+  let pr10 = List.mem "--pr10" args in
   let compare_files =
     match args with
     | "--compare" :: a :: b :: _ -> Some (a, b)
@@ -1171,6 +1305,8 @@ let () =
     run_pr6 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR6.json" else out)
   else if pr9 then
     run_pr9 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR9.json" else out)
+  else if pr10 then
+    run_pr10 ~path:(if out = "BENCH_PR4.json" then "BENCH_PR10.json" else out)
   else if json then run_json ~path:out ~jobs:!jobs
   else begin
     run_experiments ~quick:(not full) ~jobs:!jobs ~only;

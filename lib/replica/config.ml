@@ -11,6 +11,39 @@ type commit_scheme = Stability | Primary of int
    fewer, larger messages. *)
 type sync_mode = Per_write | Batched
 
+(* Knobs for real (Ext) transport backends and their per-peer connection
+   supervisors.  Inert in simulation — the deterministic Net has no
+   deadlines, sockets or retries — but validated unconditionally so a bad
+   deployment config fails at [System.create]/daemon startup, not mid-run. *)
+type transport_knobs = {
+  connect_timeout : float;  (* deadline for one connect attempt (s) *)
+  io_timeout : float;  (* read/write progress deadline (s) *)
+  backoff_base : float;  (* first reconnect delay (s) *)
+  backoff_cap : float;  (* ceiling for the decorrelated-jitter backoff (s) *)
+  retry_limit : int;
+      (* consecutive failed connects before the supervisor stops dialling and
+         waits for a probe interval instead; 0 = never stop *)
+  half_open_after : float;
+      (* silence window (s) after which an apparently-live connection is
+         suspected half-open and probed *)
+  max_frame : int;  (* largest accepted wire frame (bytes) *)
+  listen_backlog : int;
+  drain_timeout : float;  (* grace for the daemon's SIGTERM drain (s) *)
+}
+
+let default_transport =
+  {
+    connect_timeout = 5.0;
+    io_timeout = 10.0;
+    backoff_base = 0.1;
+    backoff_cap = 5.0;
+    retry_limit = 0;
+    half_open_after = 30.0;
+    max_frame = Tact_store.Transport.default_max_frame;
+    listen_backlog = 16;
+    drain_timeout = 5.0;
+  }
+
 type t = {
   conits : Tact_core.Conit.t list;
   commit_scheme : commit_scheme;
@@ -49,6 +82,9 @@ type t = {
       (* planted bug: the sharded router delivers each submission to the
          next shard over — exists so tests can prove the interest-set-aware
          checker still catches cross-shard leaks *)
+  transport : transport_knobs;
+      (* deadlines, backoff and framing bounds for real transport backends;
+         inert in simulation but always validated *)
 }
 
 let default =
@@ -72,6 +108,7 @@ let default =
     shard_id = 0;
     interest = None;
     fault_wrong_shard = false;
+    transport = default_transport;
   }
 
 let conit t name =
@@ -113,6 +150,35 @@ let bad_gossip_plan ~n t =
           (plan i)
     done;
     !bad
+
+(* Validate the transport knobs.  [not (x > 0.0)] rather than [x <= 0.0]
+   so NaN — which compares false against everything and would silently
+   disable a deadline — is rejected too. *)
+let bad_transport (k : transport_knobs) =
+  let err fmt = Printf.ksprintf Option.some fmt in
+  if not (k.connect_timeout > 0.0) then
+    err "transport.connect_timeout must be positive (got %g)" k.connect_timeout
+  else if not (k.io_timeout > 0.0) then
+    err "transport.io_timeout must be positive (got %g)" k.io_timeout
+  else if not (k.backoff_base > 0.0) then
+    err "transport.backoff_base must be positive (got %g)" k.backoff_base
+  else if not (k.backoff_cap >= k.backoff_base) then
+    err "transport.backoff_cap %g is below backoff_base %g" k.backoff_cap
+      k.backoff_base
+  else if k.retry_limit < 0 then
+    err "transport.retry_limit must be non-negative (got %d; 0 = unbounded)"
+      k.retry_limit
+  else if not (k.half_open_after > 0.0) then
+    err "transport.half_open_after must be positive (got %g)" k.half_open_after
+  else if k.max_frame < 1024 then
+    err "transport.max_frame must be at least 1024 bytes (got %d)" k.max_frame
+  else if k.max_frame > 1 lsl 30 then
+    err "transport.max_frame %d exceeds the 1 GiB sanity cap" k.max_frame
+  else if k.listen_backlog < 1 then
+    err "transport.listen_backlog must be at least 1 (got %d)" k.listen_backlog
+  else if not (k.drain_timeout > 0.0) then
+    err "transport.drain_timeout must be positive (got %g)" k.drain_timeout
+  else None
 
 let validate ~n t =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -157,7 +223,10 @@ let validate ~n t =
               | Some (i, j) ->
                 err "gossip plan for replica %d targets %d (not a peer id, n = %d)"
                   i j n
-              | None -> Ok ())
+              | None -> (
+                match bad_transport t.transport with
+                | Some m -> Error m
+                | None -> Ok ()))
         end)
 
 (* ------------------------------------------------------------------ *)

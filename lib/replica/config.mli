@@ -28,6 +28,33 @@ type sync_mode =
           ([Op.Named], not [Op.Proc] closures).  Same final databases as
           [Per_write]; far fewer, larger messages. *)
 
+(** Knobs for real transport backends ({!Tact_transport.Tcp}) and their
+    per-peer connection supervisors.  Inert in simulation — the deterministic
+    net has no deadlines, sockets or retries — but validated unconditionally
+    ({!validate}), so a bad deployment configuration fails at system or
+    daemon startup rather than mid-run. *)
+type transport_knobs = {
+  connect_timeout : float;  (** deadline for one connect attempt (seconds) *)
+  io_timeout : float;  (** read/write progress deadline (seconds) *)
+  backoff_base : float;  (** first reconnect delay (seconds) *)
+  backoff_cap : float;
+      (** ceiling for the decorrelated-jitter exponential backoff (seconds) *)
+  retry_limit : int;
+      (** consecutive failed connects before the supervisor stops dialling
+          and falls back to probing once per backoff cap; [0] = never stop *)
+  half_open_after : float;
+      (** silence window (seconds) after which an apparently-live connection
+          is suspected half-open and probed *)
+  max_frame : int;  (** largest accepted wire frame (bytes) *)
+  listen_backlog : int;
+  drain_timeout : float;
+      (** grace period for the daemon's SIGTERM drain (seconds) *)
+}
+
+val default_transport : transport_knobs
+(** 5 s connect, 10 s io, 0.1–5 s backoff, unbounded retries, 30 s half-open
+    window, 16 MiB frames, backlog 16, 5 s drain. *)
+
 type t = {
   conits : Tact_core.Conit.t list;
       (** declared conits; any conit not listed is treated as unconstrained *)
@@ -103,6 +130,9 @@ type t = {
           shard over.  Must stay [false] in real configurations — the shard
           tests enable it to prove the interest-set-aware oracle still
           catches cross-shard leaks. *)
+  transport : transport_knobs;
+      (** deadlines, backoff and framing bounds for real transport backends;
+          default {!default_transport} *)
 }
 
 val default : t
@@ -122,9 +152,11 @@ val validate : n:int -> t -> (unit, string) result
 (** Sanity-check a configuration against the system size: the primary id
     must name a replica, periods must be positive, retention non-negative,
     conit names unique, every declared bound (NE, relative NE, OE, ST)
-    non-negative and non-NaN, and [gossip_plan], when set, must return
-    peer ids in range for every replica.  {!System.create} runs this and
-    raises [Invalid_argument] on [Error]. *)
+    non-negative and non-NaN, [gossip_plan], when set, must return peer ids
+    in range for every replica, and the {!transport_knobs} must be coherent
+    (positive non-NaN deadlines, [backoff_base <= backoff_cap], a sane
+    [max_frame], a positive backlog).  {!System.create} runs this and raises
+    [Invalid_argument] on [Error]. *)
 
 val set_analyze_hook : (n:int -> t -> unit) option -> unit
 (** Register (or clear) the static-analysis hook that {!System.create} runs

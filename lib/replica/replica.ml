@@ -4,7 +4,9 @@ open Tact_store
 open Tact_core
 open Tact_protocols
 
-type msg =
+(* The message type lives in {!Wire} (where its byte codec is); re-exported
+   here so the protocol code keeps its unqualified constructors. *)
+type msg = Wire.msg =
   | Transfer of {
       from : int;
       writes : Write.t list;
@@ -30,6 +32,16 @@ type msg =
       (** one {!Tact_store.Batch} frame, actually serialised — header, CSN
           slice, vector, cover and delta/snapshot payload in a single
           message (Batched sync mode) *)
+
+(* Which world this replica's protocol machine runs in.  [Sim] is the
+   deterministic simulator: messages are delivered as closures through
+   {!Net.send} (bit-identical to the pre-TRANSPORT code — digests must not
+   move), timers through the labelled {!Engine}.  [Ext] is any real backend
+   behind the {!Tact_store.Transport.endpoint} seam: messages are serialised
+   through {!Wire} and incoming bytes enter via {!deliver_wire}. *)
+type transport =
+  | Sim of { net : Net.t; engine : Engine.t }
+  | Ext of Transport.endpoint
 
 type round_state = {
   mutable remaining : int;
@@ -87,13 +99,13 @@ type stats = {
   timeouts : int;
   batches : int;
   wrong_shard_frames : int;
+  malformed_frames : int;
 }
 
 type t = {
   rid : int;
   n : int;
-  net : Net.t;
-  engine : Engine.t;
+  tr : transport;
   cfg : Config.t;
   wlog : Wlog.t;
   cover : float array;  (** cover.(o): all writes from origin [o] with accept
@@ -120,6 +132,7 @@ type t = {
   mutable round_ctr : int;
   mutable peers : int -> t;
   mutable up : bool;
+  mutable closed : bool;  (* transport torn down; sends are inert *)
   mutable crashes : int;
   on_accept : (Write.t -> Version_vector.t -> unit) option;
   mutable records : Access.t list;
@@ -140,14 +153,14 @@ type t = {
   mutable s_timeouts : int;
   mutable s_batches : int;
   mutable s_wrong_shard : int;
+  mutable s_malformed : int;
 }
 
-let create ~id ~n ~net ~config ?on_accept () =
+let make ~id ~n ~tr ~config ?on_accept () =
   {
     rid = id;
     n;
-    net;
-    engine = Net.engine net;
+    tr;
     cfg = config;
     wlog =
       Wlog.create_bounded
@@ -177,6 +190,7 @@ let create ~id ~n ~net ~config ?on_accept () =
     round_ctr = 0;
     peers = (fun _ -> invalid_arg "Replica: not connected (call Replica.connect)");
     up = true;
+    closed = false;
     crashes = 0;
     on_accept;
     records = [];
@@ -194,19 +208,45 @@ let create ~id ~n ~net ~config ?on_accept () =
     s_timeouts = 0;
     s_batches = 0;
     s_wrong_shard = 0;
+    s_malformed = 0;
   }
+
+let create ~id ~n ~net ~config ?on_accept () =
+  make ~id ~n ~tr:(Sim { net; engine = Net.engine net }) ~config ?on_accept ()
+
+let create_ext ~id ~n ~endpoint ~config ?on_accept () =
+  make ~id ~n ~tr:(Ext endpoint) ~config ?on_accept ()
+
+let now t =
+  match t.tr with
+  | Sim { engine; _ } -> Engine.now engine
+  | Ext ep -> ep.Transport.ep_now ()
+
+(* Timer seam: in [Sim] mode these compile to exactly the labelled [Engine]
+   calls the pre-TRANSPORT code made (same actor, same tags, same order), so
+   simulation digests do not move. *)
+let schedule t ~tag ~delay f =
+  match t.tr with
+  | Sim { engine; _ } ->
+    Engine.schedule engine ~label:{ Engine.actor = t.rid; tag } ~delay f
+  | Ext ep -> ep.Transport.ep_schedule ~tag ~delay f
+
+let every t ~tag ~period f =
+  match t.tr with
+  | Sim { engine; _ } ->
+    Engine.every engine ~label:{ Engine.actor = t.rid; tag } ~period f
+  | Ext ep -> ep.Transport.ep_every ~tag ~period f
 
 let trace t ~kind detail =
   match t.cfg.Config.trace with
   | None -> ()
   | Some tr ->
-    Trace.record tr ~time:(Engine.now t.engine)
+    Trace.record tr ~time:(now t)
       ~source:(Printf.sprintf "replica %d" t.rid) ~kind detail
 
 let id t = t.rid
 let log t = t.wlog
 let db t = Wlog.db t.wlog
-let now t = Engine.now t.engine
 let connect t ~peers = t.peers <- peers
 let records t = t.records
 let pending_count t = t.npending
@@ -220,10 +260,10 @@ let bookkeeping_entries t =
    reported with this replica's id. *)
 let sanity_check t =
   if Sanitize.enabled () then begin
-    let ctx = Printf.sprintf "replica %d at t=%g" t.rid (Engine.now t.engine) in
+    let ctx = Printf.sprintf "replica %d at t=%g" t.rid (now t) in
     let bad = ref [] in
     let addf fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
-    let nw = Engine.now t.engine in
+    let nw = now t in
     Array.iteri
       (fun o c ->
         if c > nw +. 1e-9 then
@@ -259,6 +299,7 @@ let stats t =
     timeouts = t.s_timeouts;
     batches = t.s_batches;
     wrong_shard_frames = t.s_wrong_shard;
+    malformed_frames = t.s_malformed;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -287,15 +328,29 @@ let msg_size n = function
 let rec handle t msg = if t.up then process t msg
 
 and send t ~dst msg =
-  if t.up then begin
-    (* Capture the destination's crash epoch at send time: a message still in
-       flight when the target crashes belongs to the dead incarnation and is
-       discarded on arrival, even if the target has since recovered.  (Models
-       connection state dying with the process.) *)
-    let target = t.peers dst in
-    let epoch = target.crashes in
-    Net.send t.net ~src:t.rid ~dst ~size:(msg_size t.n msg) (fun () ->
-        if target.crashes = epoch then handle target msg)
+  if t.up && not t.closed then begin
+    match t.tr with
+    | Sim { net; _ } ->
+      (* Capture the destination's crash epoch at send time: a message still
+         in flight when the target crashes belongs to the dead incarnation
+         and is discarded on arrival, even if the target has since recovered.
+         (Models connection state dying with the process.) *)
+      let target = t.peers dst in
+      let epoch = target.crashes in
+      Net.send net ~src:t.rid ~dst ~size:(msg_size t.n msg) (fun () ->
+          if target.crashes = epoch then handle target msg)
+    | Ext ep ->
+      (* Serialise through the reusable arena and hand the bytes to the
+         backend.  [Ok] means accepted-or-parked, not delivered; an [Error]
+         (peer down, queue bounded) is deliberately not a protocol event —
+         delivery guarantees stay with the protocol's own ack/retry
+         machinery, which covers a dropped send exactly like a lost
+         message. *)
+      Codec.Frame.clear t.frame;
+      Wire.encode t.frame msg;
+      (match ep.Transport.ep_send ~dst (Codec.Frame.contents t.frame) with
+      | Ok () -> ()
+      | Error _ -> ())
   end
 
 and my_cover t =
@@ -376,9 +431,8 @@ and flush_batch t dst =
 and mark_dirty t dst =
   if not t.dirty.(dst) then begin
     t.dirty.(dst) <- true;
-    Engine.schedule t.engine
-      ~label:{ Engine.actor = t.rid; tag = "batch" }
-      ~delay:t.cfg.Config.batch_flush (fun () -> flush_batch t dst)
+    schedule t ~tag:"batch" ~delay:t.cfg.Config.batch_flush (fun () ->
+        flush_batch t dst)
   end
 
 (* Sync-mode dispatch for every push-shaped trigger (budget pushes, retries,
@@ -862,9 +916,7 @@ and ensure_retry t =
         t.retry_running <- false
       else if not t.up then
         (* Stay armed; resume after recovery. *)
-        Engine.schedule t.engine
-          ~label:{ Engine.actor = t.rid; tag = "retry" }
-          ~delay:t.cfg.Config.retry_period tick
+        schedule t ~tag:"retry" ~delay:t.cfg.Config.retry_period tick
       else begin
         commit_progress t;
         Queue.iter (fun p -> if not p.p_done then trigger_syncs t p) t.pending;
@@ -881,14 +933,10 @@ and ensure_retry t =
               done)
           t.return_queue;
         pump t;
-        Engine.schedule t.engine
-          ~label:{ Engine.actor = t.rid; tag = "retry" }
-          ~delay:t.cfg.Config.retry_period tick
+        schedule t ~tag:"retry" ~delay:t.cfg.Config.retry_period tick
       end
     in
-    Engine.schedule t.engine
-      ~label:{ Engine.actor = t.rid; tag = "retry" }
-      ~delay:t.cfg.Config.retry_period tick
+    schedule t ~tag:"retry" ~delay:t.cfg.Config.retry_period tick
   end
 
 (* ------------------------------------------------------------------ *)
@@ -965,8 +1013,14 @@ and process t msg =
     (* Everything in a frame deduplicates on re-application — the write log
        drops known ids, CSN offers are idempotent, cover/vector merges are
        pointwise max — so a duplicated or re-delivered frame cannot
-       double-apply. *)
-    let b = Batch.of_string s in
+       double-apply.  Decode is typed and total: a frame that does not parse
+       (possible only from a real transport; the simulator delivers locally
+       encoded frames) is counted and dropped, never fatal. *)
+    (match Batch.decode s with
+    | Error e ->
+      t.s_malformed <- t.s_malformed + 1;
+      trace t ~kind:"malformed" (Transport.error_to_string e)
+    | Ok b ->
     if b.Batch.shard <> t.cfg.Config.shard_id then begin
       (* A frame carrying another shard's log must never be applied: its
          writes, vector and CSN slice all describe a different log.  Reject
@@ -1008,7 +1062,7 @@ and process t msg =
            })
     | Batch.Pull_reply round -> round_reply t ~round ~from
     | Batch.Gossip -> ())
-    end);
+    end));
   pump t;
   sanity_check t
 
@@ -1042,9 +1096,7 @@ let admit t ?deadline p =
     match deadline with
     | None -> ()
     | Some d ->
-      Engine.schedule t.engine
-        ~label:{ Engine.actor = t.rid; tag = "deadline" }
-        ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
+      schedule t ~tag:"deadline" ~delay:(Float.max 0.0 (d -. now t)) (fun () ->
           if not p.p_done then begin
             p.p_done <- true;
             t.npending <- t.npending - 1;
@@ -1137,6 +1189,48 @@ let recover t =
 let is_up t = t.up
 let crash_count t = t.crashes
 
+(* ------------------------------------------------------------------ *)
+(* The byte-side entry points (Ext transports)                         *)
+
+(* One decoded-or-rejected wire message from the backend.  Hostile input is
+   accounted, never fatal: a frame that does not decode, or that claims a
+   sender other than the authenticated transport peer, is dropped and
+   counted — the connection (and the replica) keep going. *)
+let deliver_wire t ~src s =
+  match Wire.decode s with
+  | Error e ->
+    t.s_malformed <- t.s_malformed + 1;
+    trace t ~kind:"malformed" (Transport.error_to_string e)
+  | Ok msg -> (
+    match Wire.sender msg with
+    | Some from when from <> src ->
+      t.s_malformed <- t.s_malformed + 1;
+      trace t ~kind:"malformed"
+        (Printf.sprintf "message claims sender %d but arrived from peer %d"
+           from src)
+    | Some _ | None -> handle t msg)
+
+let malformed_frames t = t.s_malformed
+
+(* Targeted resynchronisation: one pull at [peer], answered (through the
+   peer's {!Batch.plan} in Batched mode) with a delta against our vector or
+   a snapshot if the peer has truncated past us.  Transport supervisors call
+   this on reconnect, so missed traffic heals no matter how long the link
+   was down. *)
+let resync t ~peer =
+  if peer >= 0 && peer < t.n && peer <> t.rid then send_pull t ~dst:peer ~round:0
+
+(* Idempotent transport teardown.  The simulator owns nothing per-replica
+   (the Net belongs to the System), so [Sim] close only makes sends inert;
+   an [Ext] backend releases its sockets/timers through [ep_close]. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.tr with
+    | Ext ep -> ep.Transport.ep_close ()
+    | Sim _ -> ()
+  end
+
 let start t =
   match t.cfg.Config.antientropy_period with
   | None -> ()
@@ -1156,9 +1250,7 @@ let start t =
               let j = (t.rid + 1 + k) mod t.n in
               if j = t.rid then (j + 1) mod t.n else j)
       in
-      Engine.every t.engine
-        ~label:{ Engine.actor = t.rid; tag = "gossip" }
-        ~period (fun () ->
+      every t ~tag:"gossip" ~period (fun () ->
           (* Deterministic ring gossip (silent while crashed). *)
           if t.up && Array.length ring > 0 then begin
             let target = ring.(!tick mod Array.length ring) in

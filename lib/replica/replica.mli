@@ -44,6 +44,12 @@ type stats = {
   wrong_shard_frames : int;
       (** incoming Batch frames rejected because they carried another shard's
           log — nonzero only under a cross-shard routing bug *)
+  malformed_frames : int;
+      (** incoming wire payloads rejected before application: bytes that do
+          not decode, sender-id spoofs, or embedded batch frames that fail
+          the typed decoder.  Always 0 in simulation (the simulator delivers
+          locally encoded messages); nonzero only when a real transport feeds
+          hostile or corrupt input through {!deliver_wire}. *)
 }
 
 val create :
@@ -54,9 +60,26 @@ val create :
   ?on_accept:(Tact_store.Write.t -> Tact_store.Version_vector.t -> unit) ->
   unit ->
   t
-(** [on_accept] fires whenever this replica accepts a locally originated
-    write, with a copy of the pre-acceptance version vector (the write's
-    causal context) — the hook the omniscient verifier uses. *)
+(** A replica mounted on the deterministic simulator — messages delivered as
+    closures through {!Tact_sim.Net}, timers through the labelled engine;
+    bit-identical to the pre-TRANSPORT behaviour.  [on_accept] fires whenever
+    this replica accepts a locally originated write, with a copy of the
+    pre-acceptance version vector (the write's causal context) — the hook the
+    omniscient verifier uses. *)
+
+val create_ext :
+  id:int ->
+  n:int ->
+  endpoint:Tact_store.Transport.endpoint ->
+  config:Config.t ->
+  ?on_accept:(Tact_store.Write.t -> Tact_store.Version_vector.t -> unit) ->
+  unit ->
+  t
+(** A replica mounted on a real transport backend through the
+    {!Tact_store.Transport.endpoint} seam: outgoing messages are serialised
+    through {!Wire} and handed to [ep_send]; incoming bytes must be fed to
+    {!deliver_wire}.  {!connect} is not required (peers are processes, not
+    values); {!crash}/{!recover} still model process-local failure. *)
 
 val id : t -> int
 val log : t -> Tact_store.Wlog.t
@@ -119,6 +142,30 @@ val crash : t -> unit
 val recover : t -> unit
 val is_up : t -> bool
 val crash_count : t -> int
+
+(** {2 The byte seam (real transports)} *)
+
+val deliver_wire : t -> src:int -> string -> unit
+(** Feed one incoming wire payload (the bytes inside a transport frame) into
+    the protocol.  Total over hostile input: a payload that does not decode
+    ({!Wire.decode}), or that claims a sender other than the authenticated
+    transport peer [src], is counted in [malformed_frames] and dropped —
+    never an exception, never applied. *)
+
+val malformed_frames : t -> int
+(** Rejected incoming payloads so far (also in {!stats}). *)
+
+val resync : t -> peer:int -> unit
+(** Send one targeted resynchronisation pull to [peer] (no-op for out-of-range
+    or self).  The reply — delta against our vector, or a snapshot via the
+    peer's {!Tact_store.Batch.plan} if it has truncated past us — heals
+    whatever a dead link missed; transport supervisors call this whenever a
+    peer connection (re)establishes. *)
+
+val close : t -> unit
+(** Idempotent transport teardown: subsequent sends are inert, and an
+    external backend's [ep_close] runs (once).  Protocol state is untouched —
+    a closed replica can still be inspected. *)
 
 val bookkeeping_entries : t -> int
 (** Size of the numerical-error bookkeeping state (per-peer, per-conit

@@ -261,6 +261,7 @@ let add_stats (a : Replica.stats) (b : Replica.stats) =
     timeouts = a.timeouts + b.timeouts;
     batches = a.batches + b.batches;
     wrong_shard_frames = a.wrong_shard_frames + b.wrong_shard_frames;
+    malformed_frames = a.malformed_frames + b.malformed_frames;
   }
 
 let total_stats t =
@@ -278,6 +279,7 @@ let total_stats t =
       timeouts = 0;
       batches = 0;
       wrong_shard_frames = 0;
+      malformed_frames = 0;
     }
     t.subs
 

@@ -15,6 +15,7 @@ type t = {
   replicas : Replica.t array;
   writes : (Write.id, write_meta) Hashtbl.t;
   mutable started : bool;
+  mutable closed : bool;
 }
 
 let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ?(track_writes = true)
@@ -41,7 +42,7 @@ let create ?(seed = 42) ?(jitter = 0.05) ?(loss = 0.0) ?(track_writes = true)
         else Replica.create ~id:i ~n ~net ~config ())
   in
   Array.iter (fun r -> Replica.connect r ~peers:(fun j -> replicas.(j))) replicas;
-  { engine; net; config; replicas; writes; started = false }
+  { engine; net; config; replicas; writes; started = false; closed = false }
 
 let engine t = t.engine
 let config t = t.config
@@ -72,9 +73,25 @@ let collect_returns t =
         (Replica.records r))
     t.replicas
 
+(* Idempotent transport teardown for every replica.  In simulation this only
+   makes further sends inert (the Net owns no per-replica resources), but the
+   contract matters for the Ext path: [run] guarantees it even when a replica
+   raises mid-execution, so a crashed run never leaks backend resources. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter Replica.close t.replicas
+  end
+
 let run ?until t =
   prepare t;
-  Engine.run ?until t.engine;
+  (try Engine.run ?until t.engine
+   with e ->
+     (* A replica raising out of an event handler aborts the run; tear the
+        transports down before propagating so nothing leaks.  Normal
+        completion leaves them open — callers may run further phases. *)
+     close t;
+     raise e);
   collect_returns t
 
 let all_writes t =
@@ -120,6 +137,7 @@ let total_stats t =
         timeouts = acc.timeouts + s.timeouts;
         batches = acc.batches + s.batches;
         wrong_shard_frames = acc.wrong_shard_frames + s.wrong_shard_frames;
+        malformed_frames = acc.malformed_frames + s.malformed_frames;
       })
     {
       Replica.pushes_budget = 0;
@@ -133,6 +151,7 @@ let total_stats t =
       timeouts = 0;
       batches = 0;
       wrong_shard_frames = 0;
+      malformed_frames = 0;
     }
     t.replicas
 

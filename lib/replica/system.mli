@@ -32,7 +32,15 @@ val now : t -> float
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue (up to virtual time [until]).  Equivalent to
-    {!prepare}, [Engine.run], {!collect_returns}. *)
+    {!prepare}, [Engine.run], {!collect_returns}.  If a replica raises out of
+    an event handler, every replica's transport is torn down ({!close})
+    before the exception propagates — an aborted run never leaks backend
+    resources. *)
+
+val close : t -> unit
+(** Idempotent: tear down every replica's transport ({!Replica.close}).
+    Further protocol sends are inert; inspection (records, stats, databases)
+    still works.  [run] calls this automatically on an exceptional exit. *)
 
 val prepare : t -> unit
 (** Start background activity (gossip, retry loops) on every replica without

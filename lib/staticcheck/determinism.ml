@@ -1,3 +1,10 @@
+(* Library directories that are real-time by design: they implement the
+   TRANSPORT seam's production side (sockets, deadlines, wall clocks) and
+   never run inside a simulation, so the wall-clock rule (SA041) does not
+   apply there.  Every other determinism rule (polymorphic compare, global
+   Random, Obj.magic) still does. *)
+let realtime_dirs = [ "lib/transport" ]
+
 let lib_dir dir =
   String.length dir >= 4 && String.equal (String.sub dir 0 4) "lib/"
 
@@ -8,7 +15,7 @@ let ctxt (r : Summary.vref) tail =
 
 (* [Extern] paths arrive alias-chased, so [module S = Stdlib ... S.compare]
    shows up here as ["Stdlib"; "compare"]. *)
-let check_ref path (r : Summary.vref) =
+let check_ref ~dir path (r : Summary.vref) =
   match r.r_target with
   | Summary.Extern [ "compare" ] | Summary.Extern [ "Stdlib"; "compare" ] ->
     Some
@@ -17,7 +24,8 @@ let check_ref path (r : Summary.vref) =
          "polymorphic compare walks arbitrary structure and breaks on \
           functional values; use a typed compare")
   | Summary.Extern (("Unix" | "Stdlib") :: ([ "time" ] | [ "gettimeofday" ]))
-  | Summary.Extern [ "Sys"; "time" ] ->
+  | Summary.Extern [ "Sys"; "time" ]
+    when not (List.mem dir realtime_dirs) ->
     Some
       (Report.finding ~rule_id:"SA041" ~path ~loc:r.r_loc
          ~context:(ctxt r "wall-clock")
@@ -45,7 +53,7 @@ let run sums =
       if lib_dir src.Loader.s_dir then
         List.iter
           (fun r ->
-            match check_ref path r with
+            match check_ref ~dir:src.Loader.s_dir path r with
             | Some f -> findings := f :: !findings
             | None -> ())
           s.sum_refs;

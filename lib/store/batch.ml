@@ -163,7 +163,7 @@ let decode_prefix c =
   let rate = get_float c in
   let csn_start = get_int c in
   let nranges = get_int c in
-  if nranges < 0 then raise (Malformed "negative range count");
+  check_items c ~n:nranges ~min_size:24 ~what:"range";
   let ranges =
     List.init nranges (fun _ ->
         let o = get_int c in
@@ -189,7 +189,8 @@ let decode_header s =
 let decode_writes c =
   let open Codec in
   let n = get_int c in
-  if n < 0 then raise (Malformed "negative write count");
+  (* id (16) + accept time (8) + affect count (8) + op tag (1) *)
+  check_items c ~n ~min_size:33 ~what:"write";
   List.init n (fun _ -> decode_write c)
 
 let of_string s =
@@ -197,7 +198,7 @@ let of_string s =
   let c = cursor s in
   let from, shard, kind, rate, csn_start, _ranges, ptag = decode_prefix c in
   let ncsn = get_int c in
-  if ncsn < 0 then raise (Malformed "negative csn count");
+  check_items c ~n:ncsn ~min_size:16 ~what:"csn";
   let csn =
     List.init ncsn (fun _ ->
         let origin = get_int c in
@@ -206,7 +207,7 @@ let of_string s =
   in
   let vector = decode_vector c in
   let ncover = get_int c in
-  if ncover < 0 || ncover > 1_000_000 then raise (Malformed "bad cover size");
+  check_items c ~n:ncover ~min_size:8 ~what:"cover";
   let cover = Array.init ncover (fun _ -> get_float c) in
   let payload =
     match ptag with
@@ -219,6 +220,21 @@ let of_string s =
   if c.pos <> String.length c.data then
     raise (Malformed "trailing bytes after batch");
   { from; shard; kind; vector; cover; csn_start; csn; rate; payload }
+
+(* Typed decode for untrusted input: total over arbitrary bytes — truncated,
+   corrupt, oversized or trailing-garbage frames come back as
+   [Error (Malformed _)], never an exception and (thanks to the
+   [check_items] guards above) never an allocation proportional to a corrupt
+   count field.  The decode-fuzz test drives mutated frames through here. *)
+let wrap_decode f s =
+  match f s with
+  | v -> Ok v
+  | exception Codec.Malformed m -> Error (Transport.Malformed m)
+  | exception Invalid_argument m ->
+    Error (Transport.Malformed ("decode: " ^ m))
+
+let decode s = wrap_decode of_string s
+let decode_header_safe s = wrap_decode decode_header s
 
 (* ------------------------------------------------------------------ *)
 (* The batch planner: what one sync round sends to one peer.           *)

@@ -74,6 +74,17 @@ val of_string : string -> t
 (** Full decode.  Raises {!Codec.Malformed} on corrupt, truncated or
     trailing-garbage input. *)
 
+val decode : string -> (t, Transport.error) result
+(** Typed full decode for untrusted input: total over arbitrary bytes.
+    Corrupt, truncated, oversized-count or trailing-garbage frames return
+    [Error (Transport.Malformed _)] — never an exception, and (via
+    {!Codec.check_items}) never an allocation proportional to a corrupt count
+    field.  Backends feeding network bytes into the protocol decode through
+    this. *)
+
+val decode_header_safe : string -> (header, Transport.error) result
+(** {!decode_header} with the same totality guarantee as {!decode}. *)
+
 val plan :
   log:Wlog.t -> peer_vector:Version_vector.t -> (payload -> 'a) -> 'a
 (** The batch planner: delta against [peer_vector] when the log can still

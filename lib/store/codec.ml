@@ -115,6 +115,18 @@ let get_string c =
   c.pos <- c.pos + n;
   s
 
+(* Guard a decoded element count against the bytes actually left in the
+   buffer before allocating anything proportional to it: a corrupt 8-byte
+   count field must never balloon memory.  [min_size] is a lower bound on the
+   encoded size of one element. *)
+let check_items c ~n ~min_size ~what =
+  if n < 0 then raise (Malformed (Printf.sprintf "negative %s count" what));
+  if min_size > 0 && n > (String.length c.data - c.pos) / min_size then
+    raise
+      (Malformed
+         (Printf.sprintf "%s count %d overruns the remaining %d bytes" what n
+            (String.length c.data - c.pos)))
+
 (* ------------------------------------------------------------------ *)
 (* Values *)
 
@@ -143,7 +155,7 @@ let rec decode_value c =
   | 3 -> Value.Str (get_string c)
   | 4 ->
     let n = get_int c in
-    if n < 0 then raise (Malformed "negative list length");
+    check_items c ~n ~min_size:1 ~what:"value list";
     Value.List (List.init n (fun _ -> decode_value c))
   | t -> raise (Malformed (Printf.sprintf "bad value tag %d" t))
 
@@ -215,7 +227,7 @@ let decode_write c =
   let seq = get_int c in
   let accept_time = get_float c in
   let n = get_int c in
-  if n < 0 then raise (Malformed "negative affects length");
+  check_items c ~n ~min_size:24 ~what:"affect";
   let affects =
     List.init n (fun _ ->
         let conit = get_string c in
@@ -238,7 +250,7 @@ let encode_vector f v =
 
 let decode_vector c =
   let n = get_int c in
-  if n < 0 || n > 1_000_000 then raise (Malformed "bad vector size");
+  check_items c ~n ~min_size:8 ~what:"vector entry";
   let v = Version_vector.create n in
   for i = 0 to n - 1 do
     Version_vector.set v i (get_int c)
@@ -266,14 +278,14 @@ let decode_snapshot c =
   let snap_vector = decode_vector c in
   let snap_ncommitted = get_int c in
   let nvals = get_int c in
-  if nvals < 0 then raise (Malformed "negative values length");
+  check_items c ~n:nvals ~min_size:16 ~what:"snapshot value";
   let snap_values =
     List.init nvals (fun _ ->
         let conit = get_string c in
         (conit, get_float c))
   in
   let nkeys = get_int c in
-  if nkeys < 0 then raise (Malformed "negative db size");
+  check_items c ~n:nkeys ~min_size:9 ~what:"snapshot key";
   let snap_db = Db.create [] in
   for _ = 1 to nkeys do
     let k = get_string c in

@@ -84,6 +84,14 @@ val put_string : Frame.t -> string -> unit
 val put_raw : Frame.t -> string -> unit
 (** Bytes verbatim, no length prefix. *)
 
+val check_items : cursor -> n:int -> min_size:int -> what:string -> unit
+(** Validate a decoded element count against the bytes remaining in the
+    cursor before allocating anything proportional to it ([min_size] is a
+    lower bound on one element's encoded size); raises {!Malformed} on a
+    negative or overrunning count.  Every count-prefixed decoder in this
+    module and {!Batch} guards through this, so a corrupt count field can
+    never balloon memory. *)
+
 val get_u8 : cursor -> int
 val get_int : cursor -> int
 val get_i64 : cursor -> int64

@@ -1,0 +1,163 @@
+(* A real-time event loop: the wall-clock twin of the simulator's
+   {!Tact_sim.Engine}.  One timer queue plus [Unix.select] over registered
+   file descriptors — single-threaded by construction, so handlers never
+   race (the same execution model the deterministic engine gives the
+   protocol code).
+
+   Time is reported relative to loop creation, so protocol timestamps look
+   like the simulator's (small floats starting near 0) and never encode the
+   host's epoch. *)
+
+type timer = {
+  t_due : float;
+  t_seq : int;  (* tie-break: FIFO among equal deadlines *)
+  t_tag : string;
+  t_fn : unit -> unit;
+}
+
+type fd_watch = {
+  mutable want_read : bool;
+  mutable want_write : bool;
+  mutable on_read : unit -> unit;
+  mutable on_write : unit -> unit;
+}
+
+type t = {
+  epoch : float;  (* Unix.gettimeofday at creation *)
+  mutable timers : timer list;  (* sorted by (due, seq) *)
+  mutable seq : int;
+  watches : (Unix.file_descr, fd_watch) Hashtbl.t;
+  mutable stopping : bool;
+  mutable wakeups : (unit -> unit) list;
+      (* callbacks to run at the top of the next iteration (signal-safe
+         hand-off point: a signal handler only flips flags / pushes here) *)
+}
+
+let create () =
+  {
+    epoch = Unix.gettimeofday ();
+    timers = [];
+    seq = 0;
+    watches = Hashtbl.create 16;
+    stopping = false;
+    wakeups = [];
+  }
+
+let now t = Unix.gettimeofday () -. t.epoch
+
+let insert_timer t tm =
+  let rec ins = function
+    | [] -> [ tm ]
+    | hd :: tl ->
+      if
+        hd.t_due < tm.t_due
+        || (Float.equal hd.t_due tm.t_due && hd.t_seq < tm.t_seq)
+      then hd :: ins tl
+      else tm :: hd :: tl
+  in
+  t.timers <- ins t.timers
+
+let schedule t ~tag ~delay f =
+  t.seq <- t.seq + 1;
+  insert_timer t
+    { t_due = now t +. Float.max 0.0 delay; t_seq = t.seq; t_tag = tag; t_fn = f }
+
+let rec every t ~tag ~period f =
+  schedule t ~tag ~delay:period (fun () ->
+      if (not t.stopping) && f () then every t ~tag ~period f)
+
+let watch t fd =
+  match Hashtbl.find_opt t.watches fd with
+  | Some w -> w
+  | None ->
+    let w =
+      {
+        want_read = false;
+        want_write = false;
+        on_read = ignore;
+        on_write = ignore;
+      }
+    in
+    Hashtbl.replace t.watches fd w;
+    w
+
+let on_readable t fd f =
+  let w = watch t fd in
+  w.want_read <- true;
+  w.on_read <- f
+
+let on_writable t fd f =
+  let w = watch t fd in
+  w.want_write <- true;
+  w.on_write <- f
+
+let clear_writable t fd =
+  match Hashtbl.find_opt t.watches fd with
+  | Some w -> w.want_write <- false
+  | None -> ()
+
+let forget t fd = Hashtbl.remove t.watches fd
+
+let defer t f = t.wakeups <- f :: t.wakeups
+
+let stop t = t.stopping <- true
+let stopping t = t.stopping
+
+(* One iteration: run due wakeups and timers, then select on the watched
+   fds until the next timer (capped so stop requests are noticed promptly).
+   Handler exceptions propagate — the caller owns crash policy. *)
+let run_once ?(max_wait = 0.25) t =
+  let deferred = List.rev t.wakeups in
+  t.wakeups <- [];
+  List.iter (fun f -> f ()) deferred;
+  let rec fire () =
+    match t.timers with
+    | tm :: rest when tm.t_due <= now t ->
+      t.timers <- rest;
+      tm.t_fn ();
+      fire ()
+    | _ -> ()
+  in
+  fire ();
+  let timeout =
+    match t.timers with
+    | [] -> max_wait
+    | tm :: _ -> Float.min max_wait (Float.max 0.0 (tm.t_due -. now t))
+  in
+  let reads = ref [] and writes = ref [] in
+  (* Order-insensitive walk: select treats its fd lists as sets. *)
+  Hashtbl.iter (* lint: allow hashtbl-iter -- set collection for select *)
+    (fun fd w ->
+      if w.want_read then reads := fd :: !reads;
+      if w.want_write then writes := fd :: !writes)
+    t.watches;
+  if !reads = [] && !writes = [] && t.timers = [] && t.wakeups = [] then false
+  else begin
+    let r, w, _ =
+      try Unix.select !reads !writes [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.watches fd with
+        | Some watch when watch.want_read -> watch.on_read ()
+        | Some _ | None -> ())
+      r;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.watches fd with
+        | Some watch when watch.want_write -> watch.on_write ()
+        | Some _ | None -> ())
+      w;
+    true
+  end
+
+let run ?until t =
+  let live = ref true in
+  let continue () =
+    (not t.stopping)
+    && (match until with Some u -> now t < u | None -> true)
+  in
+  while !live && continue () do
+    live := run_once t
+  done

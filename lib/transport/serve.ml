@@ -1,0 +1,296 @@
+open Tact_util
+open Tact_store
+module Replica = Tact_replica.Replica
+module Config = Tact_replica.Config
+
+(* A connected client: length-prefixed Client-protocol frames in, buffered
+   responses out.  Same read-buffer discipline as Tcp's accepted conns. *)
+type client_conn = {
+  k_fd : Unix.file_descr;
+  mutable k_buf : Bytes.t;
+  mutable k_len : int;
+  k_out : Buffer.t;
+  mutable k_closed : bool;
+}
+
+type t = {
+  sid : int;
+  n : int;
+  loop : Loop.t;
+  tcp : Tcp.t;
+  faulty : Faulty.t;
+  replica : Replica.t;
+  config : Config.t;
+  peer_addr : Unix.sockaddr;  (* our slot in the peer address array *)
+  client_addr : Unix.sockaddr;
+  request_timeout : float;
+  frame : Codec.Frame.t;  (* response encode arena, reused *)
+  mutable client_listen : Unix.file_descr option;
+  mutable clients : client_conn list;
+  mutable draining : bool;
+  mutable stopped : bool;
+}
+
+let loop t = t.loop
+let replica t = t.replica
+let tcp t = t.tcp
+let faulty t = t.faulty
+let id t = t.sid
+let draining t = t.draining
+let stopped t = t.stopped
+
+let peers_up t =
+  let up = ref 0 in
+  for j = 0 to t.n - 1 do
+    if j <> t.sid && Tcp.peer_up t.tcp j then incr up
+  done;
+  !up
+
+let create ?(request_timeout = 30.0) ?(nominal_delay = 0.0) ~id ~n ~peer_addrs
+    ~client_addr ~(config : Config.t) ~seed () =
+  if Array.length peer_addrs <> n then invalid_arg "Serve.create: addrs/n mismatch";
+  let loop = Loop.create () in
+  let rng = Prng.create ~seed in
+  let tcp =
+    Tcp.create ~loop ~self:id ~addrs:peer_addrs ~knobs:config.Config.transport
+      ~rng:(Prng.split rng) ()
+  in
+  let faulty =
+    Faulty.create ~self:id ~n ~nominal_delay
+      ~schedule:(fun ~delay f -> Loop.schedule loop ~tag:"fault-delay" ~delay f)
+      ~send:(fun ~dst payload -> Tcp.send tcp ~dst payload)
+      ()
+  in
+  let endpoint =
+    {
+      Transport.ep_self = id;
+      ep_n = n;
+      ep_now = (fun () -> Loop.now loop);
+      ep_schedule = (fun ~tag ~delay f -> Loop.schedule loop ~tag ~delay f);
+      ep_every = (fun ~tag ~period f -> Loop.every loop ~tag ~period f);
+      ep_send = (fun ~dst payload -> Faulty.send faulty ~dst payload);
+      ep_close = (fun () -> Tcp.close tcp);
+    }
+  in
+  let replica = Replica.create_ext ~id ~n ~endpoint ~config () in
+  Tcp.set_handler tcp (fun ~src payload -> Replica.deliver_wire replica ~src payload);
+  (* Reconnect implies resync — deferred so the pull runs outside the
+     supervisor's action processing. *)
+  Tcp.set_on_peer_up tcp (fun peer ->
+      Loop.defer loop (fun () -> Replica.resync replica ~peer));
+  {
+    sid = id;
+    n;
+    loop;
+    tcp;
+    faulty;
+    replica;
+    config;
+    peer_addr = peer_addrs.(id);
+    client_addr;
+    request_timeout;
+    frame = Codec.Frame.create ();
+    client_listen = None;
+    clients = [];
+    draining = false;
+    stopped = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Client protocol service                                             *)
+
+let close_fd_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let drop_client t (c : client_conn) =
+  if not c.k_closed then begin
+    c.k_closed <- true;
+    Loop.forget t.loop c.k_fd;
+    close_fd_quietly c.k_fd;
+    t.clients <- List.filter (fun c' -> c' != c) t.clients
+  end
+
+let rec flush_client t (c : client_conn) =
+  if not c.k_closed then begin
+    let data = Buffer.contents c.k_out in
+    let len = String.length data in
+    if len = 0 then Loop.clear_writable t.loop c.k_fd
+    else
+      match Unix.write_substring c.k_fd data 0 len with
+      | written ->
+        Buffer.clear c.k_out;
+        if written < len then begin
+          Buffer.add_substring c.k_out data written (len - written);
+          Loop.on_writable t.loop c.k_fd (fun () -> flush_client t c)
+        end
+        else Loop.clear_writable t.loop c.k_fd
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Loop.on_writable t.loop c.k_fd (fun () -> flush_client t c)
+      | exception Unix.Unix_error _ -> drop_client t c
+  end
+
+let respond t (c : client_conn) resp =
+  if not c.k_closed then begin
+    Codec.Frame.clear t.frame;
+    Client.encode_response t.frame resp;
+    let payload = Codec.Frame.contents t.frame in
+    Buffer.add_string c.k_out
+      (Transport.encode_frame_header ~len:(String.length payload));
+    Buffer.add_string c.k_out payload;
+    flush_client t c
+  end
+
+let status t =
+  {
+    Client.c_id = t.sid;
+    c_n = t.n;
+    c_up = Replica.is_up t.replica;
+    c_log_len = Wlog.num_known (Replica.log t.replica);
+    c_pending = Replica.pending_count t.replica;
+    c_malformed = Replica.malformed_frames t.replica;
+    c_peers_up = peers_up t;
+    c_now = Loop.now t.loop;
+  }
+
+let handle_request t (c : client_conn) req =
+  let deadline = Loop.now t.loop +. t.request_timeout in
+  match (req : Client.request) with
+  | Client.Status -> respond t c (Client.Status_r (status t))
+  | Client.Submit { conit; nweight; oweight; op } ->
+    Replica.submit_write t.replica ~deadline
+      ~on_timeout:(fun () -> respond t c (Client.Err "deadline"))
+      ~deps:[]
+      ~affects:[ { Write.conit; nweight; oweight } ]
+      ~op
+      ~k:(fun outcome -> respond t c (Client.Outcome outcome))
+  | Client.Query { key; conit; bounds } ->
+    Replica.submit_read t.replica ~deadline
+      ~on_timeout:(fun () -> respond t c (Client.Err "deadline"))
+      ~deps:[ (conit, bounds) ]
+      ~f:(fun db -> Db.get db key)
+      ~k:(fun v -> respond t c (Client.Value v))
+
+let rec client_consume t (c : client_conn) =
+  match
+    Transport.decode_frame_header
+      ~max_frame:t.config.Config.transport.Config.max_frame c.k_buf ~off:0
+      ~avail:c.k_len
+  with
+  | Ok None -> ()
+  | Error _ -> drop_client t c
+  | Ok (Some len) ->
+    let hdr = Transport.frame_header_size in
+    if c.k_len >= hdr + len then begin
+      let payload = Bytes.sub_string c.k_buf hdr len in
+      let rest = c.k_len - hdr - len in
+      Bytes.blit c.k_buf (hdr + len) c.k_buf 0 rest;
+      c.k_len <- rest;
+      (match Client.decode_request payload with
+      | Ok req -> handle_request t c req
+      | Error e -> respond t c (Client.Err (Transport.error_to_string e)));
+      client_consume t c
+    end
+    else begin
+      let need = hdr + len in
+      if Bytes.length c.k_buf < need then begin
+        let fresh = Bytes.create need in
+        Bytes.blit c.k_buf 0 fresh 0 c.k_len;
+        c.k_buf <- fresh
+      end
+    end
+
+let client_read t (c : client_conn) =
+  let avail = Bytes.length c.k_buf - c.k_len in
+  let avail =
+    if avail > 0 then avail
+    else begin
+      let fresh = Bytes.create (2 * Bytes.length c.k_buf) in
+      Bytes.blit c.k_buf 0 fresh 0 c.k_len;
+      c.k_buf <- fresh;
+      Bytes.length fresh - c.k_len
+    end
+  in
+  match Unix.read c.k_fd c.k_buf c.k_len avail with
+  | 0 -> drop_client t c
+  | nread ->
+    c.k_len <- c.k_len + nread;
+    client_consume t c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_client t c
+
+let accept_client t listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let c =
+      { k_fd = fd; k_buf = Bytes.create 4096; k_len = 0; k_out = Buffer.create 512;
+        k_closed = false }
+    in
+    t.clients <- c :: t.clients;
+    Loop.on_readable t.loop fd (fun () -> client_read t c)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start t =
+  Tcp.listen t.tcp ~addr:t.peer_addr;
+  let fd = Unix.socket (Unix.domain_of_sockaddr t.client_addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd t.client_addr;
+  Unix.listen fd t.config.Config.transport.Config.listen_backlog;
+  t.client_listen <- Some fd;
+  Loop.on_readable t.loop fd (fun () -> accept_client t fd);
+  Replica.start t.replica
+
+let close t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.client_listen with
+    | Some fd ->
+      Loop.forget t.loop fd;
+      close_fd_quietly fd
+    | None -> ());
+    t.client_listen <- None;
+    List.iter (fun c -> Loop.forget t.loop c.k_fd; close_fd_quietly c.k_fd) t.clients;
+    t.clients <- [];
+    Replica.close t.replica;
+    (* Replica.close runs ep_close -> Tcp.close; belt and braces: *)
+    Tcp.close t.tcp;
+    Loop.stop t.loop
+  end
+
+let request_stop t =
+  if not (t.draining || t.stopped) then begin
+    t.draining <- true;
+    (* Stop accepting new clients; existing ones may still collect their
+       pending responses. *)
+    (match t.client_listen with
+    | Some fd ->
+      Loop.forget t.loop fd;
+      close_fd_quietly fd
+    | None -> ());
+    t.client_listen <- None;
+    let deadline =
+      Loop.now t.loop +. t.config.Config.transport.Config.drain_timeout
+    in
+    Loop.every t.loop ~tag:"drain" ~period:0.02 (fun () ->
+        if t.stopped then false
+        else begin
+          let drained =
+            Replica.pending_count t.replica = 0
+            && List.for_all (fun c -> Buffer.length c.k_out = 0) t.clients
+          in
+          if drained || Loop.now t.loop >= deadline then begin
+            close t;
+            false
+          end
+          else true
+        end)
+  end
+
+let run t =
+  Loop.run t.loop;
+  if not t.stopped then close t

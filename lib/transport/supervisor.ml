@@ -1,0 +1,155 @@
+(* The per-peer connection supervisor: a pure state machine.
+
+   Everything timing- and socket-shaped is pushed to the caller ({!Tcp}):
+   the machine consumes events ("the dial succeeded", "bytes arrived",
+   "time advanced") and emits actions ("dial now", "hang up", "probe the
+   connection", "resync") plus its next state.  Purity is the point — the
+   whole failure-handling policy is table-testable with a seeded PRNG and
+   hand-picked clocks, no sockets in sight.
+
+   Policy implemented here:
+   - connect deadlines and bounded retries: a dial that fails (or times
+     out) moves to [Backoff]; after [retry_limit] consecutive failures the
+     supervisor parks the peer and probes once per backoff cap instead of
+     hammering it.
+   - exponential backoff with decorrelated jitter:
+       delay = min cap (uniform base (3 * previous))
+     so synchronized reconnect storms decorrelate after one round.
+   - half-open detection: a connection silent past [half_open_after] gets a
+     probe; silence through another [io_timeout] is treated as dead.
+   - reconnect-with-resync: every transition into [Up] emits [Resync] — the
+     replica answers with a pull, and the peer's {!Tact_store.Batch.plan}
+     picks delta vs snapshot, so missed traffic heals regardless of how
+     long the link was down. *)
+
+open Tact_util
+
+type state =
+  | Down of { attempt : int; prev_delay : float; until : float }
+      (** waiting out a backoff delay; dial when [now >= until] *)
+  | Dialing of { attempt : int; deadline : float; prev_delay : float }
+  | Up of { last_rx : float; probed : bool }
+  | Parked of { probe_at : float }
+      (** retry budget exhausted: degrade gracefully, probe once per cap *)
+
+type event =
+  | Tick  (** time advanced (the caller's supervision timer) *)
+  | Dial_ok
+  | Dial_failed
+  | Rx  (** bytes arrived from the peer *)
+  | Io_failed  (** read/write error or deadline on the live connection *)
+
+type action =
+  | Dial  (** start a connect attempt *)
+  | Hang_up  (** close the current socket *)
+  | Send_probe  (** half-open check: an empty keepalive frame *)
+  | Resync  (** connection established: trigger a protocol resync pull *)
+
+type knobs = {
+  connect_timeout : float;
+  backoff_base : float;
+  backoff_cap : float;
+  retry_limit : int;  (** 0 = unbounded *)
+  half_open_after : float;
+  io_timeout : float;
+}
+
+let knobs_of_config (k : Tact_replica.Config.transport_knobs) =
+  {
+    connect_timeout = k.connect_timeout;
+    backoff_base = k.backoff_base;
+    backoff_cap = k.backoff_cap;
+    retry_limit = k.retry_limit;
+    half_open_after = k.half_open_after;
+    io_timeout = k.io_timeout;
+  }
+
+let initial = Down { attempt = 0; prev_delay = 0.0; until = 0.0 }
+
+(* Decorrelated jitter (the AWS "decorrelated" variant): each delay is
+   uniform between the base and three times the previous delay, capped.
+   First retry uses the base itself. *)
+let backoff_delay k rng ~prev_delay =
+  if prev_delay <= 0.0 then k.backoff_base
+  else
+    Float.min k.backoff_cap
+      (Prng.uniform_in rng ~lo:k.backoff_base
+         ~hi:(Float.max k.backoff_base (3.0 *. prev_delay)))
+
+let exhausted k attempt = k.retry_limit > 0 && attempt >= k.retry_limit
+
+let step k rng state event ~now =
+  match (state, event) with
+  (* ---- dialling ------------------------------------------------- *)
+  | Down { until; attempt; prev_delay }, Tick when now >= until ->
+    ( Dialing { attempt = attempt + 1; deadline = now +. k.connect_timeout; prev_delay },
+      [ Dial ] )
+  | Down _, Tick -> (state, [])
+  | Dialing { attempt; deadline; prev_delay }, Tick when now >= deadline ->
+    (* Connect deadline expired: treat like a failure. *)
+    if exhausted k attempt then
+      (Parked { probe_at = now +. k.backoff_cap }, [ Hang_up ])
+    else
+      let d = backoff_delay k rng ~prev_delay in
+      (Down { attempt; prev_delay = d; until = now +. d }, [ Hang_up ])
+  | Dialing _, Tick -> (state, [])
+  | Dialing { attempt; prev_delay; _ }, Dial_failed ->
+    if exhausted k attempt then (Parked { probe_at = now +. k.backoff_cap }, [])
+    else
+      let d = backoff_delay k rng ~prev_delay in
+      (Down { attempt; prev_delay = d; until = now +. d }, [])
+  | Dialing _, Dial_ok -> (Up { last_rx = now; probed = false }, [ Resync ])
+  (* ---- live connection ------------------------------------------ *)
+  | Up _, Rx -> (Up { last_rx = now; probed = false }, [])
+  | Up { last_rx; probed }, Tick ->
+    if (not probed) && now -. last_rx > k.half_open_after then
+      (* Suspect half-open: probe, and give the peer one io window. *)
+      (Up { last_rx; probed = true }, [ Send_probe ])
+    else if probed && now -. last_rx > k.half_open_after +. k.io_timeout then
+      (* Probed and still silent: the connection is dead weight. *)
+      let d = backoff_delay k rng ~prev_delay:0.0 in
+      (Down { attempt = 0; prev_delay = d; until = now +. d }, [ Hang_up ])
+    else (state, [])
+  | Up _, Io_failed ->
+    let d = backoff_delay k rng ~prev_delay:0.0 in
+    (Down { attempt = 0; prev_delay = d; until = now +. d }, [ Hang_up ])
+  (* ---- parked (retry budget exhausted) --------------------------- *)
+  | Parked { probe_at }, Tick when now >= probe_at ->
+    ( Dialing { attempt = 1; deadline = now +. k.connect_timeout; prev_delay = 0.0 },
+      [ Dial ] )
+  | Parked _, Tick -> (state, [])
+  (* ---- benign races --------------------------------------------- *)
+  (* A late failure/rx from a connection we already gave up on, a dial
+     result while parked, etc.: absorb without action — the socket they
+     speak of is already closed or superseded. *)
+  | Down { attempt; prev_delay; _ }, (Dial_failed | Io_failed) ->
+    if exhausted k attempt then (Parked { probe_at = now +. k.backoff_cap }, [])
+    else
+      let d = backoff_delay k rng ~prev_delay in
+      (Down { attempt; prev_delay = d; until = now +. d }, [])
+  | (Down _ | Parked _), Dial_ok -> (Up { last_rx = now; probed = false }, [ Resync ])
+  (* Traffic from a peer we are not connected to proves the host is alive,
+     not that we have a socket to it (the peer's inbound connection is not
+     our outbound one).  Never fabricate [Up] — an Up state with no dialed
+     socket parks every frame with nothing left to flip it back.  While
+     backing off, just wait out the delay; while parked, the evidence is
+     exactly what the park is waiting for, so redial immediately. *)
+  | Down _, Rx -> (state, [])
+  | Parked _, Rx ->
+    ( Dialing { attempt = 1; deadline = now +. k.connect_timeout; prev_delay = 0.0 },
+      [ Dial ] )
+  | Parked _, (Dial_failed | Io_failed) -> (state, [])
+  | Dialing _, (Rx | Io_failed) -> (state, [])
+  | Up _, (Dial_ok | Dial_failed) -> (state, [])
+
+let is_up = function Up _ -> true | Down _ | Dialing _ | Parked _ -> false
+let is_parked = function Parked _ -> true | Up _ | Down _ | Dialing _ -> false
+
+let to_string = function
+  | Down { attempt; until; _ } ->
+    Printf.sprintf "down(attempt %d, dial at %.3f)" attempt until
+  | Dialing { attempt; deadline; _ } ->
+    Printf.sprintf "dialing(attempt %d, deadline %.3f)" attempt deadline
+  | Up { last_rx; probed } ->
+    Printf.sprintf "up(last rx %.3f%s)" last_rx (if probed then ", probed" else "")
+  | Parked { probe_at } -> Printf.sprintf "parked(probe at %.3f)" probe_at
